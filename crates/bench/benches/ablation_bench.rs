@@ -1,0 +1,82 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! 1. **Incremental vs. restarting SAT in the lazy DPLL(T) loop** — with
+//!    `incremental_sat` the CDCL search continues across theory rounds; the
+//!    ablation restarts the propositional search from scratch after every
+//!    theory conflict clause (the textbook offline-lazy scheme).
+//! 2. **Per-assert VC splitting vs. one monolithic VC** — the pipeline mirrors
+//!    Boogie's split-on-every-assert discipline; the ablation conjoins every
+//!    verification condition of a method into a single validity query.
+//!
+//! Both ablations run on small, fast benchmark methods so that Criterion can
+//! afford several samples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ids_core::fwyb::expand_program;
+use ids_ivl::parse_program;
+use ids_smt::{SatResult, Solver, SolverConfig, TermManager};
+use ids_structures::lists;
+use ids_vcgen::{Encoding, VcGen};
+
+/// Expands one benchmark method and returns its verification conditions in a
+/// fresh term manager.
+fn vcs_of(method: &str) -> (TermManager, Vec<ids_smt::TermId>) {
+    let ids = lists::singly_linked_list();
+    let methods = parse_program(lists::SINGLY_LINKED_LIST_METHODS).expect("parse");
+    let expanded = expand_program(&ids, &methods).expect("expand");
+    let mut tm = TermManager::new();
+    let vcgen = VcGen::new(&expanded, Encoding::Decidable);
+    let vcs = vcgen.vcs_for(&mut tm, method).expect("vcs");
+    let formulas = vcs.iter().map(|vc| vc.formula).collect();
+    (tm, formulas)
+}
+
+fn check_all_valid(tm: &mut TermManager, formulas: &[ids_smt::TermId], config: SolverConfig) {
+    for &f in formulas {
+        let mut solver = Solver::with_config(config);
+        assert_eq!(solver.check_valid(tm, f), SatResult::Sat, "VC must be valid");
+    }
+}
+
+fn incremental_vs_restarting_sat(c: &mut Criterion) {
+    let (tm, formulas) = vcs_of("set_key");
+    let mut g = c.benchmark_group("ablation/sat-loop");
+    g.sample_size(10);
+    for (label, incremental) in [("incremental", true), ("restarting", false)] {
+        let config = SolverConfig {
+            incremental_sat: incremental,
+            ..SolverConfig::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut tm = tm.clone();
+                check_all_valid(&mut tm, &formulas, config);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn split_vs_monolithic_vcs(c: &mut Criterion) {
+    let (tm, formulas) = vcs_of("set_key");
+    let mut g = c.benchmark_group("ablation/vc-splitting");
+    g.sample_size(10);
+    g.bench_function("per-assert-split", |b| {
+        b.iter(|| {
+            let mut tm = tm.clone();
+            check_all_valid(&mut tm, &formulas, SolverConfig::default());
+        })
+    });
+    g.bench_function("monolithic", |b| {
+        b.iter(|| {
+            let mut tm = tm.clone();
+            let conj = tm.and(formulas.clone());
+            let mut solver = Solver::new();
+            assert_eq!(solver.check_valid(&mut tm, conj), SatResult::Sat);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, incremental_vs_restarting_sat, split_vs_monolithic_vcs);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench reproducing the RQ3 comparison (the Boogie-vs-Dafny scatter
+//! plot of §5.3): the same FWYB-annotated method verified once with decidable
+//! (pointwise map update) frame conditions and once with quantified
+//! (Dafny-style) frame axioms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ids_core::pipeline::{load_methods, verify_method_in, PipelineConfig};
+use ids_structures::{lists, trees};
+use ids_vcgen::Encoding;
+
+fn encodings(c: &mut Criterion) {
+    let cases = [
+        (
+            "sll/set_key",
+            lists::singly_linked_list(),
+            lists::SINGLY_LINKED_LIST_METHODS,
+            "set_key",
+        ),
+        (
+            "bst/find_min",
+            trees::bst(),
+            trees::BST_METHODS,
+            "bst_find_min",
+        ),
+    ];
+    for (label, ids, src, method) in cases {
+        let merged = load_methods(&ids, src).expect("methods load");
+        let mut g = c.benchmark_group(format!("rq3/{}", label));
+        g.sample_size(10);
+        for (enc_label, encoding) in [
+            ("decidable", Encoding::Decidable),
+            ("quantified", Encoding::Quantified),
+        ] {
+            let config = PipelineConfig {
+                encoding,
+                ..PipelineConfig::default()
+            };
+            g.bench_function(enc_label, |b| {
+                b.iter(|| verify_method_in(&ids, &merged, method, config).expect("pipeline"))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, encodings);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion bench of the SMT substrate itself, plus the ablation called out
+//! in DESIGN.md: how much of the verification time is spent below the
+//! methodology layer (SAT + theories + finite instantiation), measured on
+//! solver-level workloads shaped like FWYB verification conditions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ids_smt::{SatResult, Solver, Sort, TermManager};
+
+/// A chain of store/select reasoning like the heap updates of a FWYB method.
+fn store_chain(depth: usize) -> (TermManager, Vec<ids_smt::TermId>) {
+    let mut tm = TermManager::new();
+    let arr = Sort::array_of(Sort::Loc, Sort::Int);
+    let mut map = tm.var("f0", arr);
+    let mut asserts = Vec::new();
+    let mut locs = Vec::new();
+    for i in 0..depth {
+        let x = tm.var(&format!("x{}", i), Sort::Loc);
+        locs.push(x);
+        let v = tm.int(i as i128);
+        map = tm.store(map, x, v);
+    }
+    // All locations distinct.
+    let distinct = tm.distinct(locs.clone());
+    asserts.push(distinct);
+    // Claim the first write was overwritten (false): expect Unsat when negated
+    // correctly, i.e. the assertion set is satisfiable check.
+    let sel = tm.select(map, locs[0]);
+    let zero = tm.int(0);
+    let eq = tm.eq(sel, zero);
+    let ne = tm.not(eq);
+    asserts.push(ne);
+    (tm, asserts)
+}
+
+fn euf_chain(n: usize) -> (TermManager, Vec<ids_smt::TermId>) {
+    let mut tm = TermManager::new();
+    let mut asserts = Vec::new();
+    let xs: Vec<_> = (0..n).map(|i| tm.var(&format!("a{}", i), Sort::Loc)).collect();
+    for w in xs.windows(2) {
+        let e = tm.eq(w[0], w[1]);
+        asserts.push(e);
+    }
+    let f_first = tm.app("f", vec![xs[0]], Sort::Int);
+    let f_last = tm.app("f", vec![xs[n - 1]], Sort::Int);
+    let ne = tm.neq(f_first, f_last);
+    asserts.push(ne);
+    (tm, asserts)
+}
+
+fn smt_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smt");
+    g.bench_function("store_chain_unsat_depth8", |b| {
+        b.iter(|| {
+            let (mut tm, asserts) = store_chain(8);
+            let mut s = Solver::new();
+            assert_eq!(s.check(&mut tm, &asserts), SatResult::Unsat);
+        })
+    });
+    g.bench_function("euf_transitivity_chain_40", |b| {
+        b.iter(|| {
+            let (mut tm, asserts) = euf_chain(40);
+            let mut s = Solver::new();
+            assert_eq!(s.check(&mut tm, &asserts), SatResult::Unsat);
+        })
+    });
+    g.bench_function("set_algebra_valid", |b| {
+        b.iter(|| {
+            let mut tm = TermManager::new();
+            let set = Sort::set_of(Sort::Loc);
+            let a = tm.var("A", set.clone());
+            let bb = tm.var("B", set.clone());
+            let cset = tm.var("C", set);
+            let ab = tm.union(a, bb);
+            let abc = tm.union(ab, cset);
+            let bc = tm.union(bb, cset);
+            let abc2 = tm.union(a, bc);
+            let ne = tm.neq(abc, abc2);
+            let mut s = Solver::new();
+            assert_eq!(s.check(&mut tm, &[ne]), SatResult::Unsat);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, smt_workloads);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench regenerating (a statistically sampled subset of) Table 2:
+//! end-to-end verification time per benchmark method with the decidable
+//! encoding. The `table2` binary prints the full table; this bench focuses on
+//! a representative method per data-structure family so that Criterion can
+//! afford several samples of each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ids_core::pipeline::{load_methods, verify_method_in, PipelineConfig};
+use ids_structures::{lists, trees};
+use ids_vcgen::Encoding;
+
+fn bench_method(
+    c: &mut Criterion,
+    group: &str,
+    ids: &ids_core::IntrinsicDefinition,
+    src: &str,
+    method: &str,
+) {
+    let merged = load_methods(ids, src).expect("methods load");
+    let config = PipelineConfig {
+        encoding: Encoding::Decidable,
+        ..PipelineConfig::default()
+    };
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function(method, |b| {
+        b.iter(|| {
+            let report = verify_method_in(ids, &merged, method, config).expect("pipeline");
+            assert!(
+                !matches!(report.outcome, ids_vcgen::VerifyOutcome::Unknown { .. }),
+                "verification must be conclusive"
+            );
+            report
+        })
+    });
+    g.finish();
+}
+
+fn table2_representatives(c: &mut Criterion) {
+    let sll = lists::singly_linked_list();
+    bench_method(
+        c,
+        "table2/singly-linked-list",
+        &sll,
+        lists::SINGLY_LINKED_LIST_METHODS,
+        "set_key",
+    );
+    let bst = trees::bst();
+    bench_method(c, "table2/bst", &bst, trees::BST_METHODS, "bst_find_min");
+    let circ = lists::circular_list();
+    bench_method(
+        c,
+        "table2/circular-list",
+        &circ,
+        lists::CIRCULAR_LIST_METHODS,
+        "set_node_key",
+    );
+}
+
+fn impact_set_checks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("impact-sets");
+    g.sample_size(10);
+    g.bench_function("singly-linked-list", |b| {
+        b.iter(|| {
+            let results = ids_core::impact::check_impact_sets(
+                &lists::singly_linked_list(),
+                Encoding::Decidable,
+            );
+            assert!(results.iter().all(|r| r.is_correct()));
+            results
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, table2_representatives, impact_set_checks);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates the RQ3 figure of the paper (§5.3): the scatter plot comparing
+//! verification times with decidable VCs (Boogie-style, pointwise map
+//! updates) against quantified VCs (Dafny-style frame axioms).
+//!
+//! Usage: `cargo run -p ids-bench --bin fig_scatter --release [-- --full]`
+//!
+//! By default a fast subset of the suite is used; `--full` runs every method.
+
+use ids_bench::{format_scatter, run_scatter};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let benchmarks = if full {
+        ids_structures::all_benchmarks()
+    } else {
+        ids_structures::quick_benchmarks()
+    };
+    eprintln!(
+        "Comparing encodings on {} structures (RQ3 scatter)…",
+        benchmarks.len()
+    );
+    let points = run_scatter(&benchmarks);
+    println!("RQ3: decidable vs. quantified verification conditions\n");
+    print!("{}", format_scatter(&points));
+    let slowdowns: Vec<f64> = points
+        .iter()
+        .map(|p| p.quantified.as_secs_f64() / p.decidable.as_secs_f64().max(1e-9))
+        .collect();
+    if !slowdowns.is_empty() {
+        let mean = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
+        println!("\nmean slowdown of the quantified encoding: {:.1}x", mean);
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates the impact-set correctness measurement of §5.3: for every data
+//! structure, the time to prove the declared impact sets correct (the paper
+//! reports under 3 seconds per structure on its testbed).
+//!
+//! Usage: `cargo run -p ids-bench --bin impact_times --release`
+
+use ids_vcgen::Encoding;
+
+fn main() {
+    println!("Impact-set correctness checks (Appendix C triples)\n");
+    println!(
+        "{:<36} {:>8} {:>10} {:>10}",
+        "Data Structure", "fields", "correct", "time (s)"
+    );
+    println!("{}", "-".repeat(70));
+    for b in ids_structures::all_benchmarks() {
+        let start = std::time::Instant::now();
+        let results = ids_core::impact::check_impact_sets(&b.definition, Encoding::Decidable);
+        let elapsed = start.elapsed();
+        let correct = results.iter().filter(|r| r.is_correct()).count();
+        println!(
+            "{:<36} {:>8} {:>10} {:>10.2}",
+            b.name,
+            results.len(),
+            format!("{}/{}", correct, results.len()),
+            elapsed.as_secs_f64()
+        );
+    }
+}

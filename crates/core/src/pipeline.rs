@@ -1,0 +1,347 @@
+//! The end-to-end FWYB verification pipeline.
+//!
+//! ```text
+//! IDS definition + annotated methods (surface syntax)
+//!   → parse, typecheck
+//!   → well-behavedness check (Fig. 2 discipline)
+//!   → ghost-code legality check
+//!   → macro expansion + LC substitution           (ids-core::fwyb)
+//!   → VC generation (decidable or quantified)     (ids-vcgen)
+//!   → SMT solving                                 (ids-smt)
+//!   → per-method report (Table 2 row shape)
+//! ```
+
+use std::time::{Duration, Instant};
+
+use ids_ivl::{ast, parse_program, Program};
+use ids_smt::TermManager;
+use ids_vcgen::{Encoding, VcGen, VerifyOutcome};
+
+use crate::fwyb::{expand_program, ExpandError};
+use crate::ghost::{check_ghost_legality, GhostViolation};
+use crate::ids::IntrinsicDefinition;
+use crate::wellbehaved::Violation;
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineConfig {
+    /// VC encoding mode (decidable by default).
+    pub encoding: Encoding,
+    /// If true (default false), well-behavedness violations abort verification
+    /// instead of only being reported.
+    pub strict_wellbehaved: bool,
+}
+
+/// Errors of the pipeline (before verification even starts).
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Method file failed to parse.
+    Parse(ids_ivl::ParseError),
+    /// Method file failed to typecheck against the definition's fields.
+    Type(ids_ivl::TypeError),
+    /// Macro expansion failed.
+    Expand(ExpandError),
+    /// VC generation failed.
+    Vc(ids_vcgen::VcError),
+    /// Strict mode: the program is not well-behaved.
+    NotWellBehaved(Vec<Violation>),
+    /// The requested method does not exist.
+    NoSuchMethod(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "{}", e),
+            PipelineError::Type(e) => write!(f, "{}", e),
+            PipelineError::Expand(e) => write!(f, "{}", e),
+            PipelineError::Vc(e) => write!(f, "{}", e),
+            PipelineError::NotWellBehaved(v) => {
+                write!(f, "program is not well-behaved: {} violation(s)", v.len())
+            }
+            PipelineError::NoSuchMethod(m) => write!(f, "no such method '{}'", m),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ids_ivl::ParseError> for PipelineError {
+    fn from(e: ids_ivl::ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+impl From<ids_ivl::TypeError> for PipelineError {
+    fn from(e: ids_ivl::TypeError) -> Self {
+        PipelineError::Type(e)
+    }
+}
+impl From<ExpandError> for PipelineError {
+    fn from(e: ExpandError) -> Self {
+        PipelineError::Expand(e)
+    }
+}
+impl From<ids_vcgen::VcError> for PipelineError {
+    fn from(e: ids_vcgen::VcError) -> Self {
+        PipelineError::Vc(e)
+    }
+}
+
+/// The per-method verification report (one row of Table 2).
+#[derive(Clone, Debug)]
+pub struct MethodReport {
+    /// Data structure name.
+    pub structure: String,
+    /// Method name.
+    pub method: String,
+    /// Verification outcome.
+    pub outcome: VerifyOutcome,
+    /// Number of verification conditions discharged.
+    pub num_vcs: usize,
+    /// Wall-clock verification time (expansion + VC generation + solving).
+    pub duration: Duration,
+    /// Lines of executable code (LOC column).
+    pub loc: usize,
+    /// Lines of specification (Spec column).
+    pub spec: usize,
+    /// Lines of ghost annotation (Annotation column).
+    pub annotations: usize,
+    /// Size of the local condition in conjuncts.
+    pub lc_size: usize,
+    /// Well-behavedness violations (empty for the shipped benchmarks).
+    pub wellbehaved_violations: Vec<Violation>,
+    /// Ghost-code legality violations (empty for the shipped benchmarks).
+    pub ghost_violations: Vec<GhostViolation>,
+}
+
+/// Parses a method file and merges it with the definition's field prelude.
+pub fn load_methods(
+    ids: &IntrinsicDefinition,
+    methods_src: &str,
+) -> Result<Program, PipelineError> {
+    let methods = parse_program(methods_src)?;
+    let mut merged = ids.prelude();
+    merged.extend(methods);
+    ids_ivl::check_program(&merged)?;
+    Ok(merged)
+}
+
+/// Verifies a single method of a method file against an intrinsic definition.
+pub fn verify_method(
+    ids: &IntrinsicDefinition,
+    methods_src: &str,
+    method: &str,
+    config: PipelineConfig,
+) -> Result<MethodReport, PipelineError> {
+    let merged = load_methods(ids, methods_src)?;
+    verify_method_in(ids, &merged, method, config)
+}
+
+/// Verifies a single method of an already-parsed program.
+pub fn verify_method_in(
+    ids: &IntrinsicDefinition,
+    merged: &Program,
+    method: &str,
+    config: PipelineConfig,
+) -> Result<MethodReport, PipelineError> {
+    let proc = merged
+        .procedure(method)
+        .ok_or_else(|| PipelineError::NoSuchMethod(method.to_string()))?
+        .clone();
+
+    let wellbehaved_violations = crate::wellbehaved::check_procedure(&proc);
+    if config.strict_wellbehaved && !wellbehaved_violations.is_empty() {
+        return Err(PipelineError::NotWellBehaved(wellbehaved_violations));
+    }
+    let ghost_violations = check_ghost_legality(merged)
+        .into_iter()
+        .filter(|v| v.procedure == method)
+        .collect();
+
+    let start = Instant::now();
+    let expanded = expand_program(ids, merged)?;
+    let vcgen = VcGen::new(&expanded, config.encoding);
+    let mut tm = TermManager::new();
+    let vcs = vcgen.vcs_for(&mut tm, method)?;
+    let num_vcs = vcs.len();
+    let outcome = vcgen.verify(&mut tm, method)?;
+    let duration = start.elapsed();
+
+    Ok(MethodReport {
+        structure: ids.name.clone(),
+        method: method.to_string(),
+        outcome,
+        num_vcs,
+        duration,
+        loc: ast::executable_loc(&proc),
+        spec: ast::spec_lines(&proc),
+        annotations: ast::annotation_lines(&proc),
+        lc_size: ids.lc_size(),
+        wellbehaved_violations,
+        ghost_violations,
+    })
+}
+
+/// Verifies every procedure with a body in the method file.
+pub fn verify_all(
+    ids: &IntrinsicDefinition,
+    methods_src: &str,
+    config: PipelineConfig,
+) -> Result<Vec<MethodReport>, PipelineError> {
+    let merged = load_methods(ids, methods_src)?;
+    let mut out = Vec::new();
+    let names: Vec<String> = merged
+        .procedures
+        .iter()
+        .filter(|p| p.body.is_some())
+        .map(|p| p.name.clone())
+        .collect();
+    for name in names {
+        out.push(verify_method_in(ids, &merged, &name, config)?);
+    }
+    Ok(out)
+}
+
+/// Full check of an intrinsic definition + benchmark file: impact sets first,
+/// then every method. Mirrors the workflow of §5.3 (impact sets are proved
+/// correct once per data structure, then each method is verified).
+pub fn verify_structure(
+    ids: &IntrinsicDefinition,
+    methods_src: &str,
+    config: PipelineConfig,
+) -> Result<(Vec<crate::impact::ImpactCheckResult>, Vec<MethodReport>), PipelineError> {
+    let impact = crate::impact::check_impact_sets(ids, config.encoding);
+    let methods = verify_all(ids, methods_src, config)?;
+    Ok((impact, methods))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list_ids() -> IntrinsicDefinition {
+        IntrinsicDefinition::parse(
+            "acyclic-list",
+            r#"
+            field next: Loc;
+            field ghost prev: Loc;
+            field ghost length: Int;
+            "#,
+            "(x.next != nil ==> x.next.prev == x && x.length == x.next.length + 1) \
+             && (x.prev != nil ==> x.prev.next == x) \
+             && (x.next == nil ==> x.length == 1) \
+             && (x.length >= 1)",
+            "y",
+            "y.prev == nil",
+            &[
+                ("next", &["x", "old(x.next)"]),
+                ("prev", &["x", "old(x.prev)"]),
+                ("length", &["x", "x.prev"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_front_verifies() {
+        // Insert a new head in front of a list head: the paradigmatic FWYB
+        // example (allocation + relinking + repairs).
+        let ids = list_ids();
+        let methods = r#"
+            procedure insert_front(x: Loc) returns (r: Loc)
+              requires Br == {} && x != nil && x.prev == nil;
+              ensures Br == {} && r != nil && r.prev == nil;
+              modifies {};
+            {
+              InferLCOutsideBr(x);
+              var z: Loc;
+              NewObj(z);
+              Mut(z, next, x);
+              Mut(z, length, x.length + 1);
+              Mut(z, prev, nil);
+              Mut(x, prev, z);
+              AssertLCAndRemove(z);
+              AssertLCAndRemove(x);
+              r := z;
+            }
+        "#;
+        let report =
+            verify_method(&ids, methods, "insert_front", PipelineConfig::default()).unwrap();
+        assert!(
+            report.outcome.is_verified(),
+            "outcome: {:?}",
+            report.outcome
+        );
+        assert!(report.wellbehaved_violations.is_empty());
+        assert!(report.ghost_violations.is_empty());
+        assert!(report.num_vcs > 0);
+    }
+
+    #[test]
+    fn missing_repair_is_caught() {
+        // Forgetting to update the new head's length leaves the local
+        // condition broken: the final AssertLCAndRemove must fail.
+        let ids = list_ids();
+        let methods = r#"
+            procedure insert_front_bad(x: Loc) returns (r: Loc)
+              requires Br == {} && x != nil && x.prev == nil;
+              ensures Br == {} && r != nil;
+              modifies {};
+            {
+              InferLCOutsideBr(x);
+              var z: Loc;
+              NewObj(z);
+              Mut(z, next, x);
+              Mut(z, prev, nil);
+              Mut(x, prev, z);
+              AssertLCAndRemove(z);
+              AssertLCAndRemove(x);
+              r := z;
+            }
+        "#;
+        let report =
+            verify_method(&ids, methods, "insert_front_bad", PipelineConfig::default()).unwrap();
+        assert!(
+            !report.outcome.is_verified(),
+            "outcome: {:?}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn forgetting_to_empty_broken_set_is_caught() {
+        // Mutating without repairing: the ensures Br == {} fails.
+        let ids = list_ids();
+        let methods = r#"
+            procedure detach_bad(x: Loc)
+              requires Br == {} && x != nil;
+              ensures Br == {};
+              modifies {};
+            {
+              Mut(x, next, nil);
+            }
+        "#;
+        let report =
+            verify_method(&ids, methods, "detach_bad", PipelineConfig::default()).unwrap();
+        assert!(!report.outcome.is_verified());
+    }
+
+    #[test]
+    fn strict_mode_rejects_raw_mutation() {
+        let ids = list_ids();
+        let methods = r#"
+            procedure raw(x: Loc)
+            {
+              x.next := nil;
+            }
+        "#;
+        let config = PipelineConfig {
+            strict_wellbehaved: true,
+            ..PipelineConfig::default()
+        };
+        assert!(matches!(
+            verify_method(&ids, methods, "raw", config),
+            Err(PipelineError::NotWellBehaved(_))
+        ));
+    }
+}

@@ -1,0 +1,430 @@
+//! `ids-heap` — concrete heaps and runtime checking of intrinsic definitions.
+//!
+//! The verification pipeline reasons about heaps symbolically; this crate
+//! provides the *concrete* counterpart used for testing and as a lightweight
+//! runtime checker (in the spirit of the incremental runtime checking of
+//! linear measures the paper cites):
+//!
+//! * [`Heap`] — a finite `C`-heap: objects with pointer fields, data fields
+//!   and ghost monadic-map values (Definition 2.2 of the paper);
+//! * [`eval_expr`] / [`check_local_condition`] — evaluate IVL expressions and
+//!   local conditions on concrete objects;
+//! * builders for well-formed lists used in property-based tests, which check
+//!   that the intrinsic (local-condition-based) characterisation agrees with
+//!   the classical recursive definition on randomly generated heaps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use ids_ivl::{BinOp, Expr, UnOp};
+
+pub use ids_ivl::Type;
+
+/// A concrete value stored in a field or produced by evaluating an expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// A location (`Some(object id)`) or `nil` (`None`).
+    Loc(Option<usize>),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A set of locations.
+    SetLoc(Vec<usize>),
+    /// A set of integers.
+    SetInt(Vec<i64>),
+}
+
+impl Value {
+    /// The default value of a type (what allocation initializes fields to).
+    pub fn default_of(ty: Type) -> Value {
+        match ty {
+            Type::Loc => Value::Loc(None),
+            Type::Int | Type::Real => Value::Int(0),
+            Type::Bool => Value::Bool(false),
+            Type::SetLoc => Value::SetLoc(Vec::new()),
+            Type::SetInt => Value::SetInt(Vec::new()),
+        }
+    }
+
+    /// The location payload of a `Loc` value.
+    ///
+    /// # Panics
+    /// Panics if the value is not a location.
+    pub fn as_loc(&self) -> Option<usize> {
+        match self {
+            Value::Loc(l) => *l,
+            _ => panic!("expected a location, got {:?}", self),
+        }
+    }
+
+    /// The boolean payload of a `Bool` value.
+    ///
+    /// # Panics
+    /// Panics if the value is not a boolean.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            _ => panic!("expected a boolean, got {:?}", self),
+        }
+    }
+
+    /// The integer payload of an `Int` value.
+    ///
+    /// # Panics
+    /// Panics if the value is not an integer.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            _ => panic!("expected an integer, got {:?}", self),
+        }
+    }
+}
+
+/// A finite concrete heap: objects `0..len` with per-field values.
+#[derive(Clone, Debug, Default)]
+pub struct Heap {
+    objects: Vec<BTreeMap<String, Value>>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocates a new object with the given field defaults and returns its id.
+    pub fn alloc(&mut self, fields: &[(&str, Type)]) -> usize {
+        let mut map = BTreeMap::new();
+        for (name, ty) in fields {
+            map.insert((*name).to_string(), Value::default_of(*ty));
+        }
+        self.objects.push(map);
+        self.objects.len() - 1
+    }
+
+    /// Number of allocated objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if no objects are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Sets a field of an object.
+    pub fn set(&mut self, obj: usize, field: &str, value: Value) {
+        self.objects[obj].insert(field.to_string(), value);
+    }
+
+    /// Reads a field of an object.
+    pub fn get(&self, obj: usize, field: &str) -> Value {
+        self.objects[obj]
+            .get(field)
+            .cloned()
+            .unwrap_or(Value::Loc(None))
+    }
+
+    /// Iterates over all object ids.
+    pub fn objects(&self) -> impl Iterator<Item = usize> {
+        0..self.objects.len()
+    }
+}
+
+/// Evaluates a (quantifier-free, `old`-free) IVL expression on a heap, with
+/// `x` bound to the given object.
+pub fn eval_expr(heap: &Heap, env: &BTreeMap<String, Value>, e: &Expr) -> Value {
+    match e {
+        Expr::BoolLit(b) => Value::Bool(*b),
+        Expr::IntLit(n) => Value::Int(*n as i64),
+        Expr::RealLit(n, d) => Value::Int((*n / *d) as i64),
+        Expr::Nil => Value::Loc(None),
+        Expr::EmptySet(Type::SetInt) => Value::SetInt(Vec::new()),
+        Expr::EmptySet(_) => Value::SetLoc(Vec::new()),
+        Expr::Var(v) => env
+            .get(v)
+            .cloned()
+            .unwrap_or_else(|| panic!("unbound variable {}", v)),
+        Expr::Field(obj, f) => {
+            let o = eval_expr(heap, env, obj).as_loc();
+            match o {
+                Some(o) => heap.get(o, f),
+                None => panic!("nil dereference of field {}", f),
+            }
+        }
+        Expr::Old(inner) => eval_expr(heap, env, inner),
+        Expr::Unary(UnOp::Not, inner) => Value::Bool(!eval_expr(heap, env, inner).as_bool()),
+        Expr::Unary(UnOp::Neg, inner) => Value::Int(-eval_expr(heap, env, inner).as_int()),
+        Expr::Singleton(inner) => match eval_expr(heap, env, inner) {
+            Value::Loc(Some(o)) => Value::SetLoc(vec![o]),
+            Value::Loc(None) => Value::SetLoc(vec![]),
+            Value::Int(i) => Value::SetInt(vec![i]),
+            other => panic!("cannot form singleton of {:?}", other),
+        },
+        Expr::Ite(c, t, f) => {
+            if eval_expr(heap, env, c).as_bool() {
+                eval_expr(heap, env, t)
+            } else {
+                eval_expr(heap, env, f)
+            }
+        }
+        Expr::App(name, _) => panic!("cannot evaluate application {}", name),
+        Expr::Binary(op, a, b) => {
+            // Short-circuit the guards so that `x.next != nil ==> ...` does not
+            // dereference nil.
+            match op {
+                BinOp::And => {
+                    return Value::Bool(
+                        eval_expr(heap, env, a).as_bool() && eval_expr(heap, env, b).as_bool(),
+                    )
+                }
+                BinOp::Or => {
+                    return Value::Bool(
+                        eval_expr(heap, env, a).as_bool() || eval_expr(heap, env, b).as_bool(),
+                    )
+                }
+                BinOp::Implies => {
+                    return Value::Bool(
+                        !eval_expr(heap, env, a).as_bool() || eval_expr(heap, env, b).as_bool(),
+                    )
+                }
+                _ => {}
+            }
+            let va = eval_expr(heap, env, a);
+            let vb = eval_expr(heap, env, b);
+            match op {
+                BinOp::Iff => Value::Bool(va.as_bool() == vb.as_bool()),
+                BinOp::Eq => Value::Bool(sets_normal(va) == sets_normal(vb)),
+                BinOp::Ne => Value::Bool(sets_normal(va) != sets_normal(vb)),
+                BinOp::Add => Value::Int(va.as_int() + vb.as_int()),
+                BinOp::Sub => Value::Int(va.as_int() - vb.as_int()),
+                BinOp::Div => Value::Int(va.as_int() / vb.as_int()),
+                BinOp::Lt => Value::Bool(va.as_int() < vb.as_int()),
+                BinOp::Le => Value::Bool(va.as_int() <= vb.as_int()),
+                BinOp::Gt => Value::Bool(va.as_int() > vb.as_int()),
+                BinOp::Ge => Value::Bool(va.as_int() >= vb.as_int()),
+                BinOp::Member => match (va, vb) {
+                    (Value::Loc(Some(o)), Value::SetLoc(s)) => Value::Bool(s.contains(&o)),
+                    (Value::Loc(None), Value::SetLoc(_)) => Value::Bool(false),
+                    (Value::Int(i), Value::SetInt(s)) => Value::Bool(s.contains(&i)),
+                    (a, b) => panic!("bad membership {:?} in {:?}", a, b),
+                },
+                BinOp::Subset => match (va, vb) {
+                    (Value::SetLoc(a), Value::SetLoc(b)) => {
+                        Value::Bool(a.iter().all(|x| b.contains(x)))
+                    }
+                    (Value::SetInt(a), Value::SetInt(b)) => {
+                        Value::Bool(a.iter().all(|x| b.contains(x)))
+                    }
+                    (a, b) => panic!("bad subset {:?} {:?}", a, b),
+                },
+                BinOp::Union | BinOp::Inter | BinOp::Diff => set_op(*op, va, vb),
+                BinOp::And | BinOp::Or | BinOp::Implies => unreachable!(),
+            }
+        }
+    }
+}
+
+fn sets_normal(v: Value) -> Value {
+    match v {
+        Value::SetLoc(mut s) => {
+            s.sort_unstable();
+            s.dedup();
+            Value::SetLoc(s)
+        }
+        Value::SetInt(mut s) => {
+            s.sort_unstable();
+            s.dedup();
+            Value::SetInt(s)
+        }
+        other => other,
+    }
+}
+
+fn set_op(op: BinOp, a: Value, b: Value) -> Value {
+    fn combine<T: Ord + Copy>(op: BinOp, mut a: Vec<T>, b: Vec<T>) -> Vec<T> {
+        match op {
+            BinOp::Union => {
+                a.extend(b);
+            }
+            BinOp::Inter => a.retain(|x| b.contains(x)),
+            BinOp::Diff => a.retain(|x| !b.contains(x)),
+            _ => unreachable!(),
+        }
+        a.sort_unstable();
+        a.dedup();
+        a
+    }
+    match (a, b) {
+        (Value::SetLoc(a), Value::SetLoc(b)) => Value::SetLoc(combine(op, a, b)),
+        (Value::SetInt(a), Value::SetInt(b)) => Value::SetInt(combine(op, a, b)),
+        (Value::SetLoc(a), Value::SetInt(b)) if a.is_empty() => {
+            Value::SetInt(combine(op, Vec::new(), b))
+        }
+        (Value::SetInt(a), Value::SetLoc(b)) if b.is_empty() => {
+            Value::SetInt(combine(op, a, Vec::new()))
+        }
+        (a, b) => panic!("bad set operation on {:?} / {:?}", a, b),
+    }
+}
+
+/// Checks a local condition (an expression over the free variable `x`) on a
+/// single object of the heap.
+pub fn check_local_condition(heap: &Heap, lc: &Expr, obj: usize) -> bool {
+    let mut env = BTreeMap::new();
+    env.insert("x".to_string(), Value::Loc(Some(obj)));
+    eval_expr(heap, &env, lc).as_bool()
+}
+
+/// Checks the local condition on every object; returns the (possibly empty)
+/// set of broken objects — the runtime analogue of the broken set `Br`.
+pub fn broken_objects(heap: &Heap, lc: &Expr) -> Vec<usize> {
+    heap.objects()
+        .filter(|&o| !check_local_condition(heap, lc, o))
+        .collect()
+}
+
+/// Builds a well-formed singly linked list (with `next`, `key`, `prev`,
+/// `length` fields) carrying the given keys; returns the heap and the head.
+pub fn build_list(keys: &[i64]) -> (Heap, Option<usize>) {
+    let fields: &[(&str, Type)] = &[
+        ("next", Type::Loc),
+        ("key", Type::Int),
+        ("prev", Type::Loc),
+        ("length", Type::Int),
+    ];
+    let mut heap = Heap::new();
+    let ids: Vec<usize> = keys.iter().map(|_| heap.alloc(fields)).collect();
+    let n = ids.len();
+    for (i, (&id, &k)) in ids.iter().zip(keys.iter()).enumerate() {
+        heap.set(id, "key", Value::Int(k));
+        heap.set(id, "length", Value::Int((n - i) as i64));
+        heap.set(
+            id,
+            "next",
+            Value::Loc(if i + 1 < n { Some(ids[i + 1]) } else { None }),
+        );
+        heap.set(
+            id,
+            "prev",
+            Value::Loc(if i > 0 { Some(ids[i - 1]) } else { None }),
+        );
+    }
+    (heap, ids.first().copied())
+}
+
+/// The classical recursive definition of "the objects reachable from `head`
+/// by `next` form an acyclic list" — used as ground truth in property tests.
+pub fn is_acyclic_list(heap: &Heap, head: Option<usize>) -> bool {
+    let mut seen = Vec::new();
+    let mut cur = head;
+    while let Some(o) = cur {
+        if seen.contains(&o) {
+            return false;
+        }
+        seen.push(o);
+        cur = heap.get(o, "next").as_loc();
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_ivl::parse_expr;
+    use proptest::prelude::*;
+
+    fn list_lc() -> Expr {
+        parse_expr(
+            "(x.next != nil ==> x.next.prev == x && x.length == x.next.length + 1) \
+             && (x.prev != nil ==> x.prev.next == x) \
+             && (x.next == nil ==> x.length == 1) \
+             && x.length >= 1",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn well_formed_list_satisfies_lc_everywhere() {
+        let (heap, _head) = build_list(&[3, 1, 4, 1, 5]);
+        assert!(broken_objects(&heap, &list_lc()).is_empty());
+    }
+
+    #[test]
+    fn corrupting_a_pointer_breaks_the_lc_locally() {
+        let (mut heap, head) = build_list(&[1, 2, 3, 4]);
+        let head = head.unwrap();
+        // Make the list merge back onto its head: prev-inverse breaks.
+        let third = heap.get(heap.get(head, "next").as_loc().unwrap(), "next").as_loc().unwrap();
+        heap.set(third, "next", Value::Loc(Some(head)));
+        let broken = broken_objects(&heap, &list_lc());
+        assert!(!broken.is_empty());
+        assert!(broken.contains(&third));
+    }
+
+    #[test]
+    fn evaluator_handles_sets() {
+        let mut heap = Heap::new();
+        let o = heap.alloc(&[("keys", Type::SetInt)]);
+        heap.set(o, "keys", Value::SetInt(vec![1, 2, 3]));
+        let mut env = BTreeMap::new();
+        env.insert("x".into(), Value::Loc(Some(o)));
+        let e = parse_expr("2 in x.keys && !(5 in x.keys)").unwrap();
+        assert_eq!(eval_expr(&heap, &env, &e), Value::Bool(true));
+        let e = parse_expr("union(x.keys, {5}) == union({5}, x.keys)").unwrap();
+        assert_eq!(eval_expr(&heap, &env, &e), Value::Bool(true));
+    }
+
+    proptest! {
+        /// On arbitrary generated key sequences, the intrinsically defined
+        /// characterisation (local conditions hold everywhere) agrees with the
+        /// classical recursive definition of an acyclic list.
+        #[test]
+        fn intrinsic_and_recursive_definitions_agree(keys in proptest::collection::vec(-50i64..50, 1..12)) {
+            let (heap, head) = build_list(&keys);
+            prop_assert!(broken_objects(&heap, &list_lc()).is_empty());
+            prop_assert!(is_acyclic_list(&heap, head));
+        }
+
+        /// Randomly corrupting a next pointer to point at the head either
+        /// leaves the list intact (when it rewires the last node's nil... it
+        /// cannot) or is caught by the local conditions — the runtime checker
+        /// never misses a cycle.
+        #[test]
+        fn corruption_is_always_caught(keys in proptest::collection::vec(-50i64..50, 2..10), idx in 0usize..9) {
+            let (mut heap, head) = build_list(&keys);
+            let head = head.unwrap();
+            let victim = idx.min(keys.len() - 1);
+            heap.set(victim, "next", Value::Loc(Some(head)));
+            let now_acyclic = is_acyclic_list(&heap, Some(head));
+            let lc_ok = broken_objects(&heap, &list_lc()).is_empty();
+            // If the heap is no longer an acyclic well-formed list, the local
+            // conditions must flag it.
+            if !now_acyclic {
+                prop_assert!(!lc_ok);
+            }
+        }
+
+        /// The expression evaluator's set algebra is idempotent/commutative.
+        #[test]
+        fn set_algebra_properties(a in proptest::collection::vec(0i64..20, 0..8),
+                                  b in proptest::collection::vec(0i64..20, 0..8)) {
+            let mut heap = Heap::new();
+            let o = heap.alloc(&[("s1", Type::SetInt), ("s2", Type::SetInt)]);
+            heap.set(o, "s1", Value::SetInt(a));
+            heap.set(o, "s2", Value::SetInt(b));
+            let mut env = BTreeMap::new();
+            env.insert("x".into(), Value::Loc(Some(o)));
+            let comm = parse_expr("union(x.s1, x.s2) == union(x.s2, x.s1)").unwrap();
+            prop_assert_eq!(eval_expr(&heap, &env, &comm), Value::Bool(true));
+            let absorb = parse_expr("inter(x.s1, union(x.s1, x.s2)) == x.s1").unwrap();
+            prop_assert_eq!(eval_expr(&heap, &env, &absorb), Value::Bool(true));
+            let de_morgan = parse_expr(
+                "diff(x.s1, inter(x.s1, x.s2)) == diff(x.s1, x.s2)").unwrap();
+            prop_assert_eq!(eval_expr(&heap, &env, &de_morgan), Value::Bool(true));
+        }
+    }
+}

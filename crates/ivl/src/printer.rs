@@ -1,0 +1,295 @@
+//! Pretty-printer from the AST back to surface syntax.
+//!
+//! Used for debugging, for the documentation examples, and to display the
+//! FWYB-expanded programs that `ids-core` produces.
+
+use std::fmt::Write;
+
+use crate::ast::*;
+
+/// Renders a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for f in &p.fields {
+        let _ = writeln!(
+            out,
+            "field {}{}: {};",
+            if f.ghost { "ghost " } else { "" },
+            f.name,
+            f.ty
+        );
+    }
+    if !p.fields.is_empty() {
+        out.push('\n');
+    }
+    for proc in &p.procedures {
+        out.push_str(&procedure_to_string(proc));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one procedure.
+pub fn procedure_to_string(p: &Procedure) -> String {
+    let mut out = String::new();
+    let params = p
+        .params
+        .iter()
+        .map(param_to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = write!(out, "procedure {}({})", p.name, params);
+    if !p.returns.is_empty() {
+        let rets = p
+            .returns
+            .iter()
+            .map(param_to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(out, " returns ({})", rets);
+    }
+    out.push('\n');
+    for r in &p.requires {
+        let _ = writeln!(out, "  requires {};", expr_to_string(r));
+    }
+    for e in &p.ensures {
+        let _ = writeln!(out, "  ensures {};", expr_to_string(e));
+    }
+    if let Some(m) = &p.modifies {
+        let _ = writeln!(out, "  modifies {};", expr_to_string(m));
+    }
+    if let Some(d) = &p.decreases {
+        let _ = writeln!(out, "  decreases {};", expr_to_string(d));
+    }
+    match &p.body {
+        None => out.push_str(";\n"),
+        Some(b) => {
+            out.push_str("{\n");
+            out.push_str(&block_to_string(b, 1));
+            out.push_str("}\n");
+        }
+    }
+    out
+}
+
+fn param_to_string(p: &Param) -> String {
+    format!(
+        "{}{}: {}",
+        if p.ghost { "ghost " } else { "" },
+        p.name,
+        p.ty
+    )
+}
+
+fn indent(level: usize) -> String {
+    "  ".repeat(level)
+}
+
+/// Renders a block at the given indentation level.
+pub fn block_to_string(b: &Block, level: usize) -> String {
+    let mut out = String::new();
+    for s in &b.stmts {
+        out.push_str(&stmt_to_string(s, level));
+    }
+    out
+}
+
+/// Renders one statement at the given indentation level.
+pub fn stmt_to_string(s: &Stmt, level: usize) -> String {
+    let ind = indent(level);
+    match s {
+        Stmt::VarDecl {
+            name,
+            ty,
+            ghost,
+            init,
+        } => match init {
+            Some(e) => format!(
+                "{}var {}{}: {} := {};\n",
+                ind,
+                if *ghost { "ghost " } else { "" },
+                name,
+                ty,
+                expr_to_string(e)
+            ),
+            None => format!(
+                "{}var {}{}: {};\n",
+                ind,
+                if *ghost { "ghost " } else { "" },
+                name,
+                ty
+            ),
+        },
+        Stmt::Assign { lhs, rhs } => match lhs {
+            Lhs::Var(v) => format!("{}{} := {};\n", ind, v, expr_to_string(rhs)),
+            Lhs::Field(v, f) => format!("{}{}.{} := {};\n", ind, v, f, expr_to_string(rhs)),
+        },
+        Stmt::Havoc { name } => format!("{}havoc {};\n", ind, name),
+        Stmt::Assume(e) => format!("{}assume {};\n", ind, expr_to_string(e)),
+        Stmt::Assert(e) => format!("{}assert {};\n", ind, expr_to_string(e)),
+        Stmt::Alloc { lhs } => format!("{}{} := new();\n", ind, lhs),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let mut out = format!("{}if ({}) {{\n", ind, expr_to_string(cond));
+            out.push_str(&block_to_string(then_branch, level + 1));
+            if else_branch.stmts.is_empty() {
+                out.push_str(&format!("{}}}\n", ind));
+            } else {
+                out.push_str(&format!("{}}} else {{\n", ind));
+                out.push_str(&block_to_string(else_branch, level + 1));
+                out.push_str(&format!("{}}}\n", ind));
+            }
+            out
+        }
+        Stmt::While {
+            cond,
+            invariants,
+            decreases,
+            body,
+        } => {
+            let mut out = format!("{}while ({})\n", ind, expr_to_string(cond));
+            for inv in invariants {
+                out.push_str(&format!("{}  invariant {};\n", ind, expr_to_string(inv)));
+            }
+            if let Some(d) = decreases {
+                out.push_str(&format!("{}  decreases {};\n", ind, expr_to_string(d)));
+            }
+            out.push_str(&format!("{}{{\n", ind));
+            out.push_str(&block_to_string(body, level + 1));
+            out.push_str(&format!("{}}}\n", ind));
+            out
+        }
+        Stmt::Call { lhs, proc, args } => {
+            let args = args
+                .iter()
+                .map(expr_to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            if lhs.is_empty() {
+                format!("{}call {}({});\n", ind, proc, args)
+            } else {
+                format!("{}call {} := {}({});\n", ind, lhs.join(", "), proc, args)
+            }
+        }
+        Stmt::Return => format!("{}return;\n", ind),
+        Stmt::Macro { name, args } => {
+            let args = args
+                .iter()
+                .map(expr_to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{}{}({});\n", ind, name, args)
+        }
+    }
+}
+
+/// Renders an expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::BoolLit(b) => b.to_string(),
+        Expr::IntLit(n) => n.to_string(),
+        Expr::RealLit(n, d) => format!("({} / {})", n, d),
+        Expr::Nil => "nil".into(),
+        Expr::EmptySet(Type::SetInt) => "emptyIntSet".into(),
+        Expr::EmptySet(_) => "{}".into(),
+        Expr::Var(v) => v.clone(),
+        Expr::Field(obj, f) => format!("{}.{}", expr_to_string(obj), f),
+        Expr::Old(inner) => format!("old({})", expr_to_string(inner)),
+        Expr::Unary(UnOp::Not, inner) => format!("!({})", expr_to_string(inner)),
+        Expr::Unary(UnOp::Neg, inner) => format!("-({})", expr_to_string(inner)),
+        Expr::Binary(op, a, b) => {
+            let (sa, sb) = (expr_to_string(a), expr_to_string(b));
+            match op {
+                BinOp::Add => format!("({} + {})", sa, sb),
+                BinOp::Sub => format!("({} - {})", sa, sb),
+                BinOp::Div => format!("({} / {})", sa, sb),
+                BinOp::And => format!("({} && {})", sa, sb),
+                BinOp::Or => format!("({} || {})", sa, sb),
+                BinOp::Implies => format!("({} ==> {})", sa, sb),
+                BinOp::Iff => format!("({} <==> {})", sa, sb),
+                BinOp::Eq => format!("({} == {})", sa, sb),
+                BinOp::Ne => format!("({} != {})", sa, sb),
+                BinOp::Lt => format!("({} < {})", sa, sb),
+                BinOp::Le => format!("({} <= {})", sa, sb),
+                BinOp::Gt => format!("({} > {})", sa, sb),
+                BinOp::Ge => format!("({} >= {})", sa, sb),
+                BinOp::Union => format!("union({}, {})", sa, sb),
+                BinOp::Inter => format!("inter({}, {})", sa, sb),
+                BinOp::Diff => format!("diff({}, {})", sa, sb),
+                BinOp::Member => format!("({} in {})", sa, sb),
+                BinOp::Subset => format!("({} subset {})", sa, sb),
+            }
+        }
+        Expr::Ite(c, t, f) => format!(
+            "ite({}, {}, {})",
+            expr_to_string(c),
+            expr_to_string(t),
+            expr_to_string(f)
+        ),
+        Expr::Singleton(inner) => format!("{{{}}}", expr_to_string(inner)),
+        Expr::App(name, args) => {
+            let args = args
+                .iter()
+                .map(expr_to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{}({})", name, args)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    #[test]
+    fn roundtrip_expression() {
+        let e = parse_expr("x.next != nil ==> x.key <= x.next.key").unwrap();
+        let s = expr_to_string(&e);
+        let e2 = parse_expr(&s).unwrap();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn roundtrip_program() {
+        let src = r#"
+            field next: Loc;
+            field ghost length: Int;
+
+            procedure touch(x: Loc) returns (y: Loc)
+              requires x != nil;
+              ensures y != nil;
+            {
+              var t: Loc := x.next;
+              if (t == nil) {
+                y := x;
+              } else {
+                y := t;
+              }
+              while (y != nil)
+                invariant true;
+              {
+                y := y.next;
+              }
+              Mut(x, next, y);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let printed = program_to_string(&p);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn set_literals_print() {
+        let e = parse_expr("union({x}, {})").unwrap();
+        let s = expr_to_string(&e);
+        assert!(s.contains("{x}"));
+        let e2 = parse_expr(&s).unwrap();
+        assert_eq!(e, e2);
+    }
+}

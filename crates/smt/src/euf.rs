@@ -1,0 +1,531 @@
+//! Congruence closure for equality and uninterpreted functions (EUF), with
+//! conflict explanations.
+//!
+//! The solver works in "batch" mode: given the universe of ground terms, a set
+//! of asserted equalities and a set of asserted disequalities (each carrying
+//! an opaque *tag* identifying the asserted literal it came from), it either
+//! produces the equivalence classes of the congruence closure or a conflict
+//! explanation — a subset of tags whose literals are jointly inconsistent.
+//! Explanations are what make the learned theory clauses of the lazy DPLL(T)
+//! loop short enough to be useful.
+//!
+//! The lazy DPLL(T) loop re-runs congruence closure once per propositional
+//! model, so the parts of the setup that only depend on the universe of terms
+//! (sub-term collection, node numbering, operator interning, the list of
+//! congruence-eligible application nodes) are factored into an immutable
+//! [`EufTemplate`] that is built once per solver call and shared by every
+//! round via [`Euf::with_template`].
+
+use std::collections::HashMap;
+
+use crate::term::{Op, TermId, TermManager};
+
+/// Why two nodes were merged.
+#[derive(Clone, Debug)]
+enum Reason {
+    /// An input equation with the given tag.
+    Asserted(usize),
+    /// Congruence of the two application terms (same operator, equal args).
+    Congruence(usize, usize),
+}
+
+/// The result of congruence closure: either consistency (query the classes
+/// with [`Euf::same`] / [`Euf::class_index`]) or a conflict.
+#[derive(Clone, Debug)]
+pub enum EufOutcome {
+    /// Consistent; query equalities with [`Euf::same`] and
+    /// [`Euf::class_index`].
+    Consistent,
+    /// Inconsistent; the tags of a jointly inconsistent subset of the asserted
+    /// literals.
+    Conflict(Vec<usize>),
+}
+
+/// A congruence-eligible application node of the universe.
+#[derive(Clone, Debug)]
+struct AppNode {
+    /// Node index of the application term itself.
+    node: usize,
+    /// Interned operator id (equal ids ⇔ equal operators).
+    op: u32,
+    /// Node indices of the arguments.
+    args: Vec<usize>,
+}
+
+/// The immutable, shareable part of a congruence-closure run: the term
+/// universe with dense node numbering and the pre-extracted application nodes.
+#[derive(Clone, Debug, Default)]
+pub struct EufTemplate {
+    terms: Vec<TermId>,
+    node_of_term: HashMap<TermId, usize>,
+    app_nodes: Vec<AppNode>,
+}
+
+impl EufTemplate {
+    /// Builds the template for the given universe of terms (sub-terms of the
+    /// universe members are added automatically).
+    pub fn new(tm: &TermManager, universe: &[TermId]) -> EufTemplate {
+        let all = tm.subterms(universe);
+        let mut node_of_term = HashMap::with_capacity(all.len());
+        let mut terms = Vec::with_capacity(all.len());
+        for t in all {
+            node_of_term.entry(t).or_insert_with(|| {
+                terms.push(t);
+                terms.len() - 1
+            });
+        }
+        // Intern operators so that signature comparison is integer comparison.
+        let mut op_ids: HashMap<Op, u32> = HashMap::new();
+        let mut app_nodes = Vec::new();
+        for (i, &t) in terms.iter().enumerate() {
+            let term = tm.term(t);
+            if term.args.is_empty()
+                || matches!(
+                    term.op,
+                    Op::And | Op::Or | Op::Not | Op::Implies | Op::Iff | Op::Ite | Op::Forall(_)
+                )
+            {
+                continue;
+            }
+            let next = op_ids.len() as u32;
+            let op = *op_ids.entry(term.op.clone()).or_insert(next);
+            let args = term.args.iter().map(|a| node_of_term[a]).collect();
+            app_nodes.push(AppNode { node: i, op, args });
+        }
+        EufTemplate {
+            terms,
+            node_of_term,
+            app_nodes,
+        }
+    }
+
+    /// Number of nodes (distinct sub-terms) in the universe.
+    pub fn num_nodes(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// A batch congruence-closure solver.
+pub struct Euf<'a> {
+    tm: &'a TermManager,
+    template: std::borrow::Cow<'a, EufTemplate>,
+    parent: Vec<usize>,
+    // Proof forest for explanations.
+    pf_parent: Vec<Option<(usize, Reason)>>,
+    diseqs: Vec<(usize, usize, usize)>,
+    eq_tags: Vec<usize>,
+    explain_incomplete: bool,
+}
+
+/// Union-find lookup with path compression, as a free function so that it can
+/// be used while other fields of [`Euf`] are borrowed.
+fn find_in(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+impl<'a> Euf<'a> {
+    /// Creates a solver over the given universe of terms, building a fresh
+    /// template internally. Sub-terms of universe members are added
+    /// automatically.
+    pub fn new(tm: &'a TermManager, universe: &[TermId]) -> Euf<'a> {
+        let template = EufTemplate::new(tm, universe);
+        Euf::from_cow(tm, std::borrow::Cow::Owned(template))
+    }
+
+    /// Creates a solver that shares a pre-built template. This is the cheap
+    /// constructor used once per theory-check round by the lazy DPLL(T) loop.
+    pub fn with_template(tm: &'a TermManager, template: &'a EufTemplate) -> Euf<'a> {
+        Euf::from_cow(tm, std::borrow::Cow::Borrowed(template))
+    }
+
+    fn from_cow(tm: &'a TermManager, template: std::borrow::Cow<'a, EufTemplate>) -> Euf<'a> {
+        let n = template.terms.len();
+        Euf {
+            tm,
+            template,
+            parent: (0..n).collect(),
+            pf_parent: vec![None; n],
+            diseqs: Vec::new(),
+            eq_tags: Vec::new(),
+            explain_incomplete: false,
+        }
+    }
+
+    fn node(&self, t: TermId) -> usize {
+        *self
+            .template
+            .node_of_term
+            .get(&t)
+            .unwrap_or_else(|| panic!("term {:?} not in EUF universe", t))
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        find_in(&mut self.parent, x)
+    }
+
+    /// Asserts `a = b`, justified by the literal with the given tag.
+    pub fn assert_eq(&mut self, a: TermId, b: TermId, tag: usize) {
+        let (na, nb) = (self.node(a), self.node(b));
+        self.eq_tags.push(tag);
+        self.merge(na, nb, Reason::Asserted(tag));
+    }
+
+    /// Asserts `a != b`, justified by the literal with the given tag.
+    pub fn assert_neq(&mut self, a: TermId, b: TermId, tag: usize) {
+        let (na, nb) = (self.node(a), self.node(b));
+        self.diseqs.push((na, nb, tag));
+    }
+
+    fn merge(&mut self, a: usize, b: usize, reason: Reason) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        // Add proof forest edge a -> b: first reverse the path from a to its
+        // proof-tree root so that a becomes a root.
+        self.reroot(a);
+        self.pf_parent[a] = Some((b, reason));
+        self.parent[ra] = rb;
+    }
+
+    fn reroot(&mut self, a: usize) {
+        // Reverse proof-forest edges along the path from a to its root.
+        let mut path = vec![a];
+        let mut cur = a;
+        while let Some((p, _)) = &self.pf_parent[cur] {
+            cur = *p;
+            path.push(cur);
+        }
+        // path = a .. root ; reverse edge directions.
+        for i in (1..path.len()).rev() {
+            let child = path[i - 1];
+            let parent = path[i];
+            let (_, reason) = self.pf_parent[child].clone().unwrap();
+            self.pf_parent[parent] = Some((child, reason));
+        }
+        self.pf_parent[a] = None;
+    }
+
+    /// Runs congruence closure to fixpoint and checks the disequalities.
+    pub fn check(&mut self) -> EufOutcome {
+        // Repeatedly hash every application node by (operator, canonical
+        // argument representatives); nodes that collide on the full signature
+        // are congruent and get merged. Iterate until no merge happens.
+        let mut sig_table: HashMap<u64, Vec<usize>> =
+            HashMap::with_capacity(self.template.app_nodes.len());
+        loop {
+            let mut changed = false;
+            sig_table.clear();
+            for ai in 0..self.template.app_nodes.len() {
+                let (node_i, op_i) = {
+                    let app = &self.template.app_nodes[ai];
+                    (app.node, app.op)
+                };
+                // FNV-style signature hash over (op, canonical args).
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                h = (h ^ u64::from(op_i)).wrapping_mul(0x0000_0100_0000_01b3);
+                for k in 0..self.template.app_nodes[ai].args.len() {
+                    let arg = self.template.app_nodes[ai].args[k];
+                    let rep = find_in(&mut self.parent, arg) as u64;
+                    h = (h ^ rep).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                let bucket = sig_table.entry(h).or_default();
+                let mut merged_with: Option<usize> = None;
+                for &aj in bucket.iter() {
+                    if self.congruent_apps(ai, aj) {
+                        let node_j = self.template.app_nodes[aj].node;
+                        let (fi, fj) = (
+                            find_in(&mut self.parent, node_i),
+                            find_in(&mut self.parent, node_j),
+                        );
+                        if fi != fj {
+                            merged_with = Some(node_j);
+                        }
+                        break;
+                    }
+                }
+                if let Some(node_j) = merged_with {
+                    // Re-borrow mutably outside the bucket iteration.
+                    let aj_node = node_j;
+                    self.merge(node_i, aj_node, Reason::Congruence(node_i, aj_node));
+                    changed = true;
+                } else {
+                    sig_table.get_mut(&h).expect("bucket exists").push(ai);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Check disequalities.
+        for k in 0..self.diseqs.len() {
+            let (a, b, tag) = self.diseqs[k];
+            let (fa, fb) = (self.find(a), self.find(b));
+            if fa == fb {
+                let mut tags = self.explain(a, b);
+                if self.explain_incomplete {
+                    // Sound fallback: blame every asserted equation.
+                    tags = self.eq_tags.clone();
+                }
+                tags.push(tag);
+                tags.sort_unstable();
+                tags.dedup();
+                return EufOutcome::Conflict(tags);
+            }
+        }
+        EufOutcome::Consistent
+    }
+
+    /// True if the two application nodes (indices into the template's app-node
+    /// list) have the same operator and pairwise congruent arguments.
+    fn congruent_apps(&mut self, ai: usize, aj: usize) -> bool {
+        let (op_i, op_j) = (
+            self.template.app_nodes[ai].op,
+            self.template.app_nodes[aj].op,
+        );
+        if op_i != op_j
+            || self.template.app_nodes[ai].args.len() != self.template.app_nodes[aj].args.len()
+        {
+            return false;
+        }
+        for k in 0..self.template.app_nodes[ai].args.len() {
+            let (x, y) = (
+                self.template.app_nodes[ai].args[k],
+                self.template.app_nodes[aj].args[k],
+            );
+            if find_in(&mut self.parent, x) != find_in(&mut self.parent, y) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if the two terms are currently in the same class. Intended for use
+    /// after [`Euf::check`] returned [`EufOutcome::Consistent`].
+    pub fn same(&mut self, a: TermId, b: TermId) -> bool {
+        let (na, nb) = (self.node(a), self.node(b));
+        self.find(na) == self.find(nb)
+    }
+
+    /// A canonical class index for `t` (only meaningful for comparison against
+    /// other indices from the same run), or `None` if `t` is not in the
+    /// universe. Intended for use after a consistent [`Euf::check`].
+    pub fn class_index(&mut self, t: TermId) -> Option<usize> {
+        let n = *self.template.node_of_term.get(&t)?;
+        Some(self.find(n))
+    }
+
+    /// Explains why two equal terms are equal: the tags of the asserted
+    /// equations used. If the internal explanation is incomplete, all asserted
+    /// equation tags are returned (sound but weaker).
+    pub fn explain_terms(&mut self, a: TermId, b: TermId) -> Vec<usize> {
+        let (na, nb) = (self.node(a), self.node(b));
+        let tags = self.explain(na, nb);
+        if self.explain_incomplete {
+            self.eq_tags.clone()
+        } else {
+            tags
+        }
+    }
+
+    /// Explains why nodes `a` and `b` are equal: returns the tags of asserted
+    /// equations used.
+    fn explain(&mut self, a: usize, b: usize) -> Vec<usize> {
+        let mut tags = Vec::new();
+        self.explain_rec(a, b, &mut tags, 0);
+        tags
+    }
+
+    fn explain_rec(&mut self, a: usize, b: usize, tags: &mut Vec<usize>, depth: usize) {
+        if a == b {
+            return;
+        }
+        if depth > 10_000 {
+            // Defensive: should not happen. Mark the explanation incomplete so
+            // that the caller blames all asserted equations (sound, weaker).
+            self.explain_incomplete = true;
+            return;
+        }
+        // Find common ancestor in the proof forest.
+        let mut ancestors_a = HashMap::new();
+        let mut cur = a;
+        let mut idx = 0usize;
+        ancestors_a.insert(cur, idx);
+        while let Some((p, _)) = &self.pf_parent[cur] {
+            cur = *p;
+            idx += 1;
+            ancestors_a.insert(cur, idx);
+        }
+        let mut lca = b;
+        while !ancestors_a.contains_key(&lca) {
+            match &self.pf_parent[lca] {
+                Some((p, _)) => lca = *p,
+                None => {
+                    // Not in the same proof tree — unexpected; be conservative
+                    // and blame all asserted equations.
+                    self.explain_incomplete = true;
+                    return;
+                }
+            }
+        }
+        // Walk a -> lca and b -> lca collecting edge reasons.
+        let walk = |mut x: usize, stop: usize, this: &mut Self, tags: &mut Vec<usize>, depth: usize| {
+            while x != stop {
+                let (p, reason) = this.pf_parent[x].clone().expect("path to lca");
+                match reason {
+                    Reason::Asserted(t) => tags.push(t),
+                    Reason::Congruence(u, v) => {
+                        let (tu, tv) = (this.template.terms[u], this.template.terms[v]);
+                        let args_u = this.tm.term(tu).args.clone();
+                        let args_v = this.tm.term(tv).args.clone();
+                        for (x_arg, y_arg) in args_u.iter().zip(args_v.iter()) {
+                            let (nu, nv) = (this.node(*x_arg), this.node(*y_arg));
+                            this.explain_rec(nu, nv, tags, depth + 1);
+                        }
+                    }
+                }
+                x = p;
+            }
+        };
+        walk(a, lca, self, tags, depth);
+        walk(b, lca, self, tags, depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    fn setup() -> (TermManager, Vec<TermId>) {
+        let tm = TermManager::new();
+        (tm, vec![])
+    }
+
+    #[test]
+    fn transitivity_conflict() {
+        let (mut tm, _) = setup();
+        let a = tm.var("a", Sort::Loc);
+        let b = tm.var("b", Sort::Loc);
+        let c = tm.var("c", Sort::Loc);
+        let mut euf = Euf::new(&tm, &[a, b, c]);
+        euf.assert_eq(a, b, 0);
+        euf.assert_eq(b, c, 1);
+        euf.assert_neq(a, c, 2);
+        match euf.check() {
+            EufOutcome::Conflict(tags) => {
+                assert_eq!(tags, vec![0, 1, 2]);
+            }
+            _ => panic!("expected conflict"),
+        }
+    }
+
+    #[test]
+    fn congruence_basic() {
+        let (mut tm, _) = setup();
+        let x = tm.var("x", Sort::Loc);
+        let y = tm.var("y", Sort::Loc);
+        let fx = tm.app("f", vec![x], Sort::Loc);
+        let fy = tm.app("f", vec![y], Sort::Loc);
+        let mut euf = Euf::new(&tm, &[fx, fy]);
+        euf.assert_eq(x, y, 0);
+        euf.assert_neq(fx, fy, 1);
+        match euf.check() {
+            EufOutcome::Conflict(tags) => assert_eq!(tags, vec![0, 1]),
+            _ => panic!("expected conflict"),
+        }
+    }
+
+    #[test]
+    fn congruence_two_levels() {
+        let (mut tm, _) = setup();
+        let x = tm.var("x", Sort::Loc);
+        let y = tm.var("y", Sort::Loc);
+        let fx = tm.app("f", vec![x], Sort::Loc);
+        let fy = tm.app("f", vec![y], Sort::Loc);
+        let gfx = tm.app("g", vec![fx], Sort::Loc);
+        let gfy = tm.app("g", vec![fy], Sort::Loc);
+        let mut euf = Euf::new(&tm, &[gfx, gfy]);
+        euf.assert_eq(x, y, 7);
+        euf.assert_neq(gfx, gfy, 9);
+        match euf.check() {
+            EufOutcome::Conflict(tags) => assert_eq!(tags, vec![7, 9]),
+            _ => panic!("expected conflict"),
+        }
+    }
+
+    #[test]
+    fn consistent_classes() {
+        let (mut tm, _) = setup();
+        let a = tm.var("a", Sort::Loc);
+        let b = tm.var("b", Sort::Loc);
+        let c = tm.var("c", Sort::Loc);
+        let mut euf = Euf::new(&tm, &[a, b, c]);
+        euf.assert_eq(a, b, 0);
+        euf.assert_neq(a, c, 1);
+        match euf.check() {
+            EufOutcome::Consistent => {
+                assert!(euf.same(a, b));
+                assert!(!euf.same(a, c));
+            }
+            _ => panic!("expected consistent"),
+        }
+    }
+
+    #[test]
+    fn explanation_is_minimal() {
+        // Irrelevant equalities must not show up in the conflict.
+        let (mut tm, _) = setup();
+        let a = tm.var("a", Sort::Loc);
+        let b = tm.var("b", Sort::Loc);
+        let p = tm.var("p", Sort::Loc);
+        let q = tm.var("q", Sort::Loc);
+        let mut euf = Euf::new(&tm, &[a, b, p, q]);
+        euf.assert_eq(p, q, 0); // irrelevant
+        euf.assert_eq(a, b, 1);
+        euf.assert_neq(a, b, 2);
+        match euf.check() {
+            EufOutcome::Conflict(tags) => assert_eq!(tags, vec![1, 2]),
+            _ => panic!("expected conflict"),
+        }
+    }
+
+    #[test]
+    fn function_with_two_args() {
+        let (mut tm, _) = setup();
+        let x = tm.var("x", Sort::Int);
+        let y = tm.var("y", Sort::Int);
+        let z = tm.var("z", Sort::Int);
+        let fxy = tm.app("f", vec![x, y], Sort::Int);
+        let fxz = tm.app("f", vec![x, z], Sort::Int);
+        let mut euf = Euf::new(&tm, &[fxy, fxz]);
+        euf.assert_eq(y, z, 0);
+        euf.assert_neq(fxy, fxz, 1);
+        assert!(matches!(euf.check(), EufOutcome::Conflict(_)));
+    }
+
+    #[test]
+    fn shared_template_runs_are_independent() {
+        // Two rounds over the same template must not see each other's
+        // assertions.
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Loc);
+        let y = tm.var("y", Sort::Loc);
+        let fx = tm.app("f", vec![x], Sort::Loc);
+        let fy = tm.app("f", vec![y], Sort::Loc);
+        let template = EufTemplate::new(&tm, &[fx, fy]);
+
+        let mut round1 = Euf::with_template(&tm, &template);
+        round1.assert_eq(x, y, 0);
+        round1.assert_neq(fx, fy, 1);
+        assert!(matches!(round1.check(), EufOutcome::Conflict(_)));
+
+        let mut round2 = Euf::with_template(&tm, &template);
+        round2.assert_neq(fx, fy, 1);
+        assert!(matches!(round2.check(), EufOutcome::Consistent));
+    }
+}

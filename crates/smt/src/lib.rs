@@ -1,0 +1,66 @@
+//! `ids-smt` — a quantifier-free SMT solver used as the decidable backend of the
+//! intrinsic-definitions verification pipeline.
+//!
+//! The verification conditions produced by the fix-what-you-break (FWYB)
+//! methodology fall into quantifier-free combinations of:
+//!
+//! * equality and uninterpreted functions (EUF),
+//! * linear arithmetic over integers and rationals,
+//! * extensional arrays (maps from locations to values, with `store` and
+//!   pointwise `ite` updates used for frame reasoning), and
+//! * finite sets of locations/integers (membership, union, intersection,
+//!   difference, subset).
+//!
+//! This crate implements a from-scratch decision procedure for that fragment:
+//!
+//! 1. [`lower`] reduces array/set structure to EUF + arithmetic by *finite
+//!    instantiation* over the ground index/element terms of the query (plus one
+//!    Skolem witness per set/array equality atom, for extensionality),
+//! 2. [`cnf`] converts the result to CNF via the Tseitin transformation,
+//! 3. [`sat`] is a CDCL SAT solver (watched literals, first-UIP learning,
+//!    VSIDS-style activities, restarts),
+//! 4. [`euf`] (congruence closure with explanations) and [`simplex`] (general
+//!    simplex over delta-rationals with branch-and-bound for integers) check
+//!    the theory consistency of propositional models and learn conflict
+//!    clauses — an *offline lazy* DPLL(T) loop driven by [`solver`].
+//!
+//! A bounded quantifier-instantiation engine ([`quant`]) supports the
+//! *quantified* (Dafny-style) encoding used only for the paper's RQ3
+//! comparison; the decidable pipeline never produces quantifiers.
+//!
+//! # Example
+//!
+//! ```
+//! use ids_smt::{TermManager, Sort, Solver, SatResult};
+//!
+//! let mut tm = TermManager::new();
+//! let x = tm.var("x", Sort::Int);
+//! let one = tm.int(1);
+//! let x_plus_1 = tm.add(x, one);
+//! let lt = tm.lt(x_plus_1, x); // x + 1 < x : unsatisfiable
+//! let mut solver = Solver::new();
+//! assert_eq!(solver.check(&mut tm, &[lt]), SatResult::Unsat);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod euf;
+pub mod lower;
+pub mod model;
+pub mod quant;
+pub mod rational;
+pub mod sat;
+pub mod simplex;
+pub mod smtlib;
+pub mod solver;
+pub mod term;
+pub mod theory;
+
+pub use model::Model;
+pub use rational::Rat;
+pub use sat::SatResult;
+pub use smtlib::to_smtlib;
+pub use solver::{Solver, SolverConfig, SolverStats};
+pub use term::{Op, Sort, Term, TermId, TermManager};

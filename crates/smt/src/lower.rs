@@ -1,0 +1,626 @@
+//! Lowering of set/array structure to EUF + arithmetic by finite
+//! instantiation.
+//!
+//! The FWYB verification conditions use sets and maps only in ways that admit
+//! a *local* finite instantiation: every universal fact hidden inside a set or
+//! array operation (the meaning of `union`, read-over-write for `store`,
+//! pointwise frame updates, extensionality, subset) only ever needs to be
+//! known at the ground index/element terms occurring in the query, plus one
+//! fresh Skolem witness per (dis)equality or subset atom between containers.
+//! After this pass the formula mentions only Boolean structure, equalities,
+//! linear arithmetic and uninterpreted applications (`Select`, `Member`, user
+//! functions), which is exactly what [`crate::theory`] decides.
+//!
+//! The pass also:
+//! * eliminates non-Boolean `ite` terms by introducing defined constants,
+//! * expands `distinct` into pairwise disequalities, and
+//! * adds trichotomy lemmas `a = b ∨ a < b ∨ b < a` for numeric equality
+//!   atoms so that negated numeric equalities are visible to the simplex.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::term::{Op, Sort, TermId, TermManager};
+
+/// Lowers the conjunction of `roots`; returns the new conjunction of roots
+/// (original assertions rewritten, plus instantiated axioms).
+pub fn lower(tm: &mut TermManager, roots: &[TermId]) -> Vec<TermId> {
+    let mut side: Vec<TermId> = Vec::new();
+    let mut cache: HashMap<TermId, TermId> = HashMap::new();
+    let mut rewritten: Vec<TermId> = roots
+        .iter()
+        .map(|&r| rewrite(tm, r, &mut cache, &mut side))
+        .collect();
+    rewritten.append(&mut side);
+
+    let axioms = instantiate(tm, &rewritten);
+    rewritten.extend(axioms);
+
+    let lemmas = trichotomy(tm, &rewritten);
+    rewritten.extend(lemmas);
+    rewritten
+}
+
+/// Rewrites away non-Boolean `ite` and `distinct`.
+fn rewrite(
+    tm: &mut TermManager,
+    t: TermId,
+    cache: &mut HashMap<TermId, TermId>,
+    side: &mut Vec<TermId>,
+) -> TermId {
+    if let Some(&r) = cache.get(&t) {
+        return r;
+    }
+    let term = tm.term(t).clone();
+    let args: Vec<TermId> = term
+        .args
+        .iter()
+        .map(|&a| rewrite(tm, a, cache, side))
+        .collect();
+    let result = match &term.op {
+        Op::Ite if term.sort != Sort::Bool => {
+            let v = tm.fresh_var("ite", term.sort.clone());
+            let (c, th, el) = (args[0], args[1], args[2]);
+            let eq_t = tm.eq(v, th);
+            let eq_e = tm.eq(v, el);
+            let pos = tm.implies(c, eq_t);
+            let nc = tm.not(c);
+            let neg = tm.implies(nc, eq_e);
+            side.push(pos);
+            side.push(neg);
+            v
+        }
+        Op::Distinct => {
+            let mut conj = Vec::new();
+            for i in 0..args.len() {
+                for j in (i + 1)..args.len() {
+                    let ne = tm.neq(args[i], args[j]);
+                    conj.push(ne);
+                }
+            }
+            tm.and(conj)
+        }
+        _ => {
+            if args == term.args {
+                t
+            } else {
+                rebuild(tm, &term.op, args)
+            }
+        }
+    };
+    cache.insert(t, result);
+    result
+}
+
+/// Rebuilds a term with new arguments, going through the smart constructors so
+/// that folding/normalization stays consistent.
+fn rebuild(tm: &mut TermManager, op: &Op, args: Vec<TermId>) -> TermId {
+    match op {
+        Op::Not => tm.not(args[0]),
+        Op::And => tm.and(args),
+        Op::Or => tm.or(args),
+        Op::Implies => tm.implies(args[0], args[1]),
+        Op::Iff => tm.iff(args[0], args[1]),
+        Op::Ite => tm.ite(args[0], args[1], args[2]),
+        Op::Eq => tm.eq(args[0], args[1]),
+        Op::Add => tm.add_many(args),
+        Op::Sub => tm.sub(args[0], args[1]),
+        Op::Neg => tm.neg(args[0]),
+        Op::MulConst(k) => tm.mul_const(*k, args[0]),
+        Op::Le => tm.le(args[0], args[1]),
+        Op::Lt => tm.lt(args[0], args[1]),
+        Op::Select => tm.select(args[0], args[1]),
+        Op::Store => tm.store(args[0], args[1], args[2]),
+        Op::MapIte => tm.map_ite(args[0], args[1], args[2]),
+        Op::Singleton => tm.singleton(args[0]),
+        Op::Union => tm.union(args[0], args[1]),
+        Op::Inter => tm.inter(args[0], args[1]),
+        Op::Diff => tm.diff(args[0], args[1]),
+        Op::Member => tm.member(args[0], args[1]),
+        Op::Subset => tm.subset(args[0], args[1]),
+        Op::Forall(bound) => tm.forall(bound.clone(), args[0]),
+        _ => {
+            let sort = infer_sort(tm, op, &args);
+            tm.mk(op.clone(), args, sort)
+        }
+    }
+}
+
+fn infer_sort(tm: &TermManager, op: &Op, args: &[TermId]) -> Sort {
+    match op {
+        Op::App(_) => {
+            // Application result sorts cannot be inferred from arguments; look
+            // the original term up — rebuild is only called when an identical
+            // op already exists, so find any term with this op.
+            tm.iter()
+                .find(|(_, t)| &t.op == op)
+                .map(|(_, t)| t.sort.clone())
+                .unwrap_or(Sort::Bool)
+        }
+        Op::Var(_) | Op::IntLit(_) | Op::RealLit(_) | Op::EmptySet(_) => tm
+            .iter()
+            .find(|(_, t)| &t.op == op)
+            .map(|(_, t)| t.sort.clone())
+            .unwrap_or(Sort::Bool),
+        _ => args
+            .first()
+            .map(|&a| tm.sort(a).clone())
+            .unwrap_or(Sort::Bool),
+    }
+}
+
+/// Per-sort pools of relevant index/element terms.
+#[derive(Default)]
+struct Pools {
+    by_sort: HashMap<Sort, Vec<TermId>>,
+}
+
+impl Pools {
+    fn add(&mut self, sort: &Sort, t: TermId) {
+        let v = self.by_sort.entry(sort.clone()).or_default();
+        if !v.contains(&t) {
+            v.push(t);
+        }
+    }
+
+    fn get(&self, sort: &Sort) -> &[TermId] {
+        self.by_sort.get(sort).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+fn elem_sort_of_container(sort: &Sort) -> Option<Sort> {
+    match sort {
+        Sort::Set(e) => Some((**e).clone()),
+        Sort::Array(i, _) => Some((**i).clone()),
+        _ => None,
+    }
+}
+
+/// Instantiates the ground axioms of the set/array theory over the relevant
+/// index/element terms.
+fn instantiate(tm: &mut TermManager, roots: &[TermId]) -> Vec<TermId> {
+    let subterms = tm.subterms(roots);
+
+    // 1. Gather the relevant index/element pool per element sort, and the
+    //    terms we need to axiomatise.
+    let mut pools = Pools::default();
+    let mut stores: Vec<TermId> = Vec::new();
+    let mut map_ites: Vec<TermId> = Vec::new();
+    let mut compound_sets: Vec<TermId> = Vec::new();
+    let mut subset_atoms: Vec<TermId> = Vec::new();
+    let mut container_eq_atoms: Vec<TermId> = Vec::new();
+
+    for &t in &subterms {
+        let term = tm.term(t).clone();
+        match &term.op {
+            Op::Member => {
+                let elem = term.args[0];
+                let sort = tm.sort(elem).clone();
+                pools.add(&sort, elem);
+            }
+            Op::Singleton => {
+                let elem = term.args[0];
+                let sort = tm.sort(elem).clone();
+                pools.add(&sort, elem);
+                compound_sets.push(t);
+            }
+            Op::Union | Op::Inter | Op::Diff | Op::EmptySet(_) => {
+                compound_sets.push(t);
+            }
+            Op::Select => {
+                let idx = term.args[1];
+                let sort = tm.sort(idx).clone();
+                pools.add(&sort, idx);
+            }
+            Op::Store => {
+                let idx = term.args[1];
+                let sort = tm.sort(idx).clone();
+                pools.add(&sort, idx);
+                stores.push(t);
+            }
+            Op::MapIte => {
+                map_ites.push(t);
+            }
+            Op::Subset => {
+                subset_atoms.push(t);
+            }
+            Op::Eq => {
+                if tm.sort(term.args[0]).is_container() {
+                    container_eq_atoms.push(t);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // 2. Create Skolem witnesses for subset atoms and container equality
+    //    atoms, adding them to the pools *before* instantiation.
+    let mut subset_witness: HashMap<TermId, TermId> = HashMap::new();
+    for &a in &subset_atoms {
+        let s = tm.term(a).args[0];
+        if let Some(elem_sort) = elem_sort_of_container(&tm.sort(s).clone()) {
+            let w = tm.fresh_var("sub_w", elem_sort.clone());
+            pools.add(&elem_sort, w);
+            subset_witness.insert(a, w);
+        }
+    }
+    let mut eq_witness: HashMap<TermId, TermId> = HashMap::new();
+    for &a in &container_eq_atoms {
+        let s = tm.term(a).args[0];
+        if let Some(elem_sort) = elem_sort_of_container(&tm.sort(s).clone()) {
+            let w = tm.fresh_var("ext_w", elem_sort.clone());
+            pools.add(&elem_sort, w);
+            eq_witness.insert(a, w);
+        }
+    }
+
+    let mut axioms: Vec<TermId> = Vec::new();
+    let mut seen: HashSet<TermId> = HashSet::new();
+    let mut push = |tm: &mut TermManager, ax: TermId, axioms: &mut Vec<TermId>| {
+        if tm.term(ax).op != Op::True && seen.insert(ax) {
+            axioms.push(ax);
+        }
+    };
+
+    // 3. Membership axioms for compound set terms, at every pooled element.
+    for &s in &compound_sets {
+        let term = tm.term(s).clone();
+        let elem_sort = match elem_sort_of_container(&term.sort) {
+            Some(e) => e,
+            None => continue,
+        };
+        for &e in pools.get(&elem_sort).to_vec().iter() {
+            let mem = tm.member(e, s);
+            let def = match &term.op {
+                Op::EmptySet(_) => {
+                    let f = tm.fls();
+                    tm.iff(mem, f)
+                }
+                Op::Singleton => {
+                    let eq = tm.eq(e, term.args[0]);
+                    tm.iff(mem, eq)
+                }
+                Op::Union => {
+                    let m1 = tm.member(e, term.args[0]);
+                    let m2 = tm.member(e, term.args[1]);
+                    let d = tm.or2(m1, m2);
+                    tm.iff(mem, d)
+                }
+                Op::Inter => {
+                    let m1 = tm.member(e, term.args[0]);
+                    let m2 = tm.member(e, term.args[1]);
+                    let c = tm.and2(m1, m2);
+                    tm.iff(mem, c)
+                }
+                Op::Diff => {
+                    let m1 = tm.member(e, term.args[0]);
+                    let m2 = tm.member(e, term.args[1]);
+                    let nm2 = tm.not(m2);
+                    let c = tm.and2(m1, nm2);
+                    tm.iff(mem, c)
+                }
+                _ => unreachable!(),
+            };
+            push(tm, def, &mut axioms);
+        }
+    }
+
+    // 4. Read-over-write axioms for stores, at every pooled index.
+    for &st in &stores {
+        let term = tm.term(st).clone();
+        let (base, idx, val) = (term.args[0], term.args[1], term.args[2]);
+        let idx_sort = tm.sort(idx).clone();
+        for &j in pools.get(&idx_sort).to_vec().iter() {
+            let sel = tm.select(st, j);
+            let eq_idx = tm.eq(j, idx);
+            let sel_val = tm.eq(sel, val);
+            let hit = tm.implies(eq_idx, sel_val);
+            let sel_base = tm.select(base, j);
+            let sel_pass = tm.eq(sel, sel_base);
+            let ne = tm.not(eq_idx);
+            let miss = tm.implies(ne, sel_pass);
+            push(tm, hit, &mut axioms);
+            push(tm, miss, &mut axioms);
+        }
+    }
+
+    // 5. Pointwise frame-update axioms for MapIte, at every pooled index.
+    for &mi in &map_ites {
+        let term = tm.term(mi).clone();
+        let (modset, m_new, m_old) = (term.args[0], term.args[1], term.args[2]);
+        let idx_sort = match elem_sort_of_container(&term.sort) {
+            Some(s) => s,
+            None => continue,
+        };
+        for &j in pools.get(&idx_sort).to_vec().iter() {
+            let sel = tm.select(mi, j);
+            let in_mod = tm.member(j, modset);
+            let sel_new = tm.select(m_new, j);
+            let sel_old = tm.select(m_old, j);
+            let eq_new = tm.eq(sel, sel_new);
+            let eq_old = tm.eq(sel, sel_old);
+            let hit = tm.implies(in_mod, eq_new);
+            let nm = tm.not(in_mod);
+            let miss = tm.implies(nm, eq_old);
+            push(tm, hit, &mut axioms);
+            push(tm, miss, &mut axioms);
+        }
+    }
+
+    // 6. Subset atoms: positive side (pointwise, guarded), negative side
+    //    (Skolem witness).
+    for &a in &subset_atoms {
+        let term = tm.term(a).clone();
+        let (s, t) = (term.args[0], term.args[1]);
+        let elem_sort = match elem_sort_of_container(&tm.sort(s).clone()) {
+            Some(e) => e,
+            None => continue,
+        };
+        for &e in pools.get(&elem_sort).to_vec().iter() {
+            let ms = tm.member(e, s);
+            let mt = tm.member(e, t);
+            let imp = tm.implies(ms, mt);
+            let ax = tm.implies(a, imp);
+            push(tm, ax, &mut axioms);
+        }
+        if let Some(&w) = subset_witness.get(&a) {
+            let ms = tm.member(w, s);
+            let mt = tm.member(w, t);
+            let nmt = tm.not(mt);
+            let both = tm.and2(ms, nmt);
+            let na = tm.not(a);
+            let ax = tm.implies(na, both);
+            push(tm, ax, &mut axioms);
+        }
+    }
+
+    // 7. Container equality atoms: guarded pointwise congruence plus
+    //    extensionality witness for the negative side.
+    for &a in &container_eq_atoms {
+        let term = tm.term(a).clone();
+        let (s, t) = (term.args[0], term.args[1]);
+        let sort = tm.sort(s).clone();
+        let elem_sort = match elem_sort_of_container(&sort) {
+            Some(e) => e,
+            None => continue,
+        };
+        let is_set = matches!(sort, Sort::Set(_));
+        for &e in pools.get(&elem_sort).to_vec().iter() {
+            let (vs, vt) = if is_set {
+                (tm.member(e, s), tm.member(e, t))
+            } else {
+                (tm.select(s, e), tm.select(t, e))
+            };
+            let eq = tm.eq(vs, vt);
+            let ax = tm.implies(a, eq);
+            push(tm, ax, &mut axioms);
+        }
+        if let Some(&w) = eq_witness.get(&a) {
+            let (vs, vt) = if is_set {
+                (tm.member(w, s), tm.member(w, t))
+            } else {
+                (tm.select(s, w), tm.select(t, w))
+            };
+            let ne = tm.neq(vs, vt);
+            let na = tm.not(a);
+            let ax = tm.implies(na, ne);
+            push(tm, ax, &mut axioms);
+        }
+    }
+
+    // The axioms may themselves contain new compound structure only in the
+    // shape of `member`/`select` over existing terms, so one round suffices.
+    axioms
+}
+
+/// Adds `a = b ∨ a < b ∨ b < a` for every numeric equality atom.
+fn trichotomy(tm: &mut TermManager, roots: &[TermId]) -> Vec<TermId> {
+    let subterms = tm.subterms(roots);
+    let mut lemmas = Vec::new();
+    for t in subterms {
+        let term = tm.term(t).clone();
+        if term.op == Op::Eq && tm.sort(term.args[0]).is_numeric() {
+            let (a, b) = (term.args[0], term.args[1]);
+            let lt_ab = tm.lt(a, b);
+            let lt_ba = tm.lt(b, a);
+            let lemma = tm.or(vec![t, lt_ab, lt_ba]);
+            lemmas.push(lemma);
+        }
+    }
+    lemmas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatResult;
+    use crate::solver::Solver;
+
+    fn solve(tm: &mut TermManager, roots: &[TermId]) -> SatResult {
+        let mut s = Solver::new();
+        s.check(tm, roots)
+    }
+
+    #[test]
+    fn store_select_same_index() {
+        // select(store(m, i, v), i) != v  is unsat.
+        let mut tm = TermManager::new();
+        let m = tm.var("m", Sort::array_of(Sort::Loc, Sort::Int));
+        let i = tm.var("i", Sort::Loc);
+        let v = tm.var("v", Sort::Int);
+        let st = tm.store(m, i, v);
+        let sel = tm.select(st, i);
+        let ne = tm.neq(sel, v);
+        assert_eq!(solve(&mut tm, &[ne]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn store_select_other_index() {
+        // i != j -> select(store(m, i, v), j) = select(m, j); negation unsat.
+        let mut tm = TermManager::new();
+        let m = tm.var("m", Sort::array_of(Sort::Loc, Sort::Int));
+        let i = tm.var("i", Sort::Loc);
+        let j = tm.var("j", Sort::Loc);
+        let v = tm.var("v", Sort::Int);
+        let st = tm.store(m, i, v);
+        let sel_st = tm.select(st, j);
+        let sel_m = tm.select(m, j);
+        let ne_ij = tm.neq(i, j);
+        let ne_sel = tm.neq(sel_st, sel_m);
+        assert_eq!(solve(&mut tm, &[ne_ij, ne_sel]), SatResult::Unsat);
+        // Without i != j it is satisfiable.
+        let mut tm2 = TermManager::new();
+        let m = tm2.var("m", Sort::array_of(Sort::Loc, Sort::Int));
+        let i = tm2.var("i", Sort::Loc);
+        let j = tm2.var("j", Sort::Loc);
+        let v = tm2.var("v", Sort::Int);
+        let st = tm2.store(m, i, v);
+        let sel_st = tm2.select(st, j);
+        let sel_m = tm2.select(m, j);
+        let ne_sel = tm2.neq(sel_st, sel_m);
+        assert_eq!(solve(&mut tm2, &[ne_sel]), SatResult::Sat);
+    }
+
+    #[test]
+    fn union_membership() {
+        // x in A, not (x in (A ∪ B)) : unsat.
+        let mut tm = TermManager::new();
+        let set = Sort::set_of(Sort::Loc);
+        let a = tm.var("A", set.clone());
+        let b = tm.var("B", set);
+        let x = tm.var("x", Sort::Loc);
+        let u = tm.union(a, b);
+        let in_a = tm.member(x, a);
+        let in_u = tm.member(x, u);
+        let not_in_u = tm.not(in_u);
+        assert_eq!(solve(&mut tm, &[in_a, not_in_u]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn diff_membership() {
+        // x in (A \ B) and x in B : unsat.
+        let mut tm = TermManager::new();
+        let set = Sort::set_of(Sort::Loc);
+        let a = tm.var("A", set.clone());
+        let b = tm.var("B", set);
+        let x = tm.var("x", Sort::Loc);
+        let d = tm.diff(a, b);
+        let in_d = tm.member(x, d);
+        let in_b = tm.member(x, b);
+        assert_eq!(solve(&mut tm, &[in_d, in_b]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn subset_transitive() {
+        // A ⊆ B, B ⊆ C, x ∈ A, x ∉ C : unsat.
+        let mut tm = TermManager::new();
+        let set = Sort::set_of(Sort::Loc);
+        let a = tm.var("A", set.clone());
+        let b = tm.var("B", set.clone());
+        let c = tm.var("C", set);
+        let x = tm.var("x", Sort::Loc);
+        let s1 = tm.subset(a, b);
+        let s2 = tm.subset(b, c);
+        let in_a = tm.member(x, a);
+        let in_c = tm.member(x, c);
+        let not_in_c = tm.not(in_c);
+        assert_eq!(solve(&mut tm, &[s1, s2, in_a, not_in_c]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn set_extensionality() {
+        // A ∪ B = B ∪ A is valid: its negation is unsat.
+        let mut tm = TermManager::new();
+        let set = Sort::set_of(Sort::Loc);
+        let a = tm.var("A", set.clone());
+        let b = tm.var("B", set);
+        let u1 = tm.union(a, b);
+        let u2 = tm.union(b, a);
+        let ne = tm.neq(u1, u2);
+        assert_eq!(solve(&mut tm, &[ne]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        // y ∈ {x} → y = x ; and nothing is in ∅.
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Loc);
+        let y = tm.var("y", Sort::Loc);
+        let sing = tm.singleton(x);
+        let in_s = tm.member(y, sing);
+        let ne = tm.neq(x, y);
+        assert_eq!(solve(&mut tm, &[in_s, ne]), SatResult::Unsat);
+
+        let mut tm2 = TermManager::new();
+        let z = tm2.var("z", Sort::Loc);
+        let empty = tm2.empty_set(Sort::Loc);
+        let in_e = tm2.member(z, empty);
+        assert_eq!(solve(&mut tm2, &[in_e]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn map_ite_frame() {
+        // m' = frame update of m with mod-set S and havoc map h:
+        //   x ∉ S  ⇒  select(MapIte(S,h,m), x) = select(m, x); negation unsat.
+        let mut tm = TermManager::new();
+        let arr = Sort::array_of(Sort::Loc, Sort::Int);
+        let m = tm.var("m", arr.clone());
+        let h = tm.var("h", arr);
+        let s = tm.var("S", Sort::set_of(Sort::Loc));
+        let x = tm.var("x", Sort::Loc);
+        let upd = tm.map_ite(s, h, m);
+        let in_s = tm.member(x, s);
+        let not_in = tm.not(in_s);
+        let sel_u = tm.select(upd, x);
+        let sel_m = tm.select(m, x);
+        let ne = tm.neq(sel_u, sel_m);
+        assert_eq!(solve(&mut tm, &[not_in, ne]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn ite_elimination() {
+        // y = ite(c, 1, 2) and y = 3 : unsat ; y = ite(c,1,2) and y = 2 : sat.
+        let mut tm = TermManager::new();
+        let c = tm.var("c", Sort::Bool);
+        let one = tm.int(1);
+        let two = tm.int(2);
+        let three = tm.int(3);
+        let y = tm.var("y", Sort::Int);
+        let ite = tm.ite(c, one, two);
+        let def = tm.eq(y, ite);
+        let bad = tm.eq(y, three);
+        assert_eq!(solve(&mut tm, &[def, bad]), SatResult::Unsat);
+
+        let mut tm2 = TermManager::new();
+        let c = tm2.var("c", Sort::Bool);
+        let one = tm2.int(1);
+        let two = tm2.int(2);
+        let y = tm2.var("y", Sort::Int);
+        let ite = tm2.ite(c, one, two);
+        let def = tm2.eq(y, ite);
+        let ok = tm2.eq(y, two);
+        assert_eq!(solve(&mut tm2, &[def, ok]), SatResult::Sat);
+    }
+
+    #[test]
+    fn distinct_expansion() {
+        let mut tm = TermManager::new();
+        let a = tm.var("a", Sort::Loc);
+        let b = tm.var("b", Sort::Loc);
+        let c = tm.var("c", Sort::Loc);
+        let d = tm.distinct(vec![a, b, c]);
+        let eq = tm.eq(a, c);
+        assert_eq!(solve(&mut tm, &[d, eq]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn numeric_disequality_uses_trichotomy() {
+        // x <= y, y <= x, x != y : unsat (needs arithmetic to see x != y).
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Int);
+        let y = tm.var("y", Sort::Int);
+        let le1 = tm.le(x, y);
+        let le2 = tm.le(y, x);
+        let ne = tm.neq(x, y);
+        assert_eq!(solve(&mut tm, &[le1, le2, ne]), SatResult::Unsat);
+    }
+}

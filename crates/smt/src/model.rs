@@ -1,0 +1,79 @@
+//! Propositional-plus-theory models returned by the solver for satisfiable
+//! queries.
+//!
+//! When verification fails, the model over the theory atoms of the lowered
+//! verification condition is the raw material for the counterexample report
+//! shown to the verification engineer (which program-level facts were true on
+//! the failing path).
+
+use crate::term::{TermId, TermManager};
+
+/// A model: the truth value the solver assigned to every theory atom.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    assignments: Vec<(TermId, bool)>,
+}
+
+impl Model {
+    /// Creates a model from atom assignments.
+    pub fn new(mut assignments: Vec<(TermId, bool)>) -> Model {
+        assignments.sort();
+        assignments.dedup();
+        Model { assignments }
+    }
+
+    /// The truth value assigned to the given atom, if it was assigned.
+    pub fn value_of(&self, atom: TermId) -> Option<bool> {
+        self.assignments
+            .iter()
+            .find(|(t, _)| *t == atom)
+            .map(|&(_, b)| b)
+    }
+
+    /// Iterates over `(atom, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(TermId, bool)> {
+        self.assignments.iter()
+    }
+
+    /// Number of assigned atoms.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True if the model assigns no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Renders the model with the atoms pretty-printed in SMT-LIB syntax.
+    pub fn render(&self, tm: &TermManager) -> String {
+        let mut out = String::new();
+        for &(t, b) in &self.assignments {
+            out.push_str(&format!(
+                "  {} {}\n",
+                if b { "✓" } else { "✗" },
+                crate::smtlib::term_to_smtlib(tm, t)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    #[test]
+    fn model_lookup() {
+        let mut tm = TermManager::new();
+        let p = tm.var("p", Sort::Bool);
+        let q = tm.var("q", Sort::Bool);
+        let m = Model::new(vec![(p, true), (q, false)]);
+        assert_eq!(m.value_of(p), Some(true));
+        assert_eq!(m.value_of(q), Some(false));
+        assert_eq!(m.len(), 2);
+        let r = tm.var("r", Sort::Bool);
+        assert_eq!(m.value_of(r), None);
+    }
+}

@@ -1,0 +1,678 @@
+//! A CDCL SAT solver: two-watched-literal propagation, first-UIP clause
+//! learning, VSIDS-style variable activities, phase saving and geometric
+//! restarts.
+//!
+//! The solver is used incrementally by the lazy DPLL(T) loop in
+//! [`crate::solver`]: after each propositionally satisfying assignment, theory
+//! conflict clauses are added and `solve` is called again.
+
+use std::fmt;
+
+/// A propositional variable index.
+pub type Var = u32;
+
+/// A literal: a variable together with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal for `var`, positive if `positive` is true.
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var << 1 | (if positive { 0 } else { 1 }))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// True if this is the positive literal of its variable.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "v{}", self.var())
+        } else {
+            write!(f, "~v{}", self.var())
+        }
+    }
+}
+
+/// Result of a (propositional or full SMT) satisfiability check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment / model was found.
+    Sat,
+    /// The problem is unsatisfiable.
+    Unsat,
+    /// The solver gave up (resource limit, incomplete fragment).
+    Unknown,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Value {
+    True,
+    False,
+    Unassigned,
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learned: bool,
+}
+
+/// The CDCL SAT solver.
+///
+/// # Example
+/// ```
+/// use ids_smt::sat::{SatSolver, Lit, SatResult};
+/// let mut s = SatSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(vec![Lit::new(a, true), Lit::new(b, true)]);
+/// s.add_clause(vec![Lit::new(a, false)]);
+/// assert_eq!(s.solve(), SatResult::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<usize>>, // indexed by literal
+    assign: Vec<Value>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    /// Max-heap of (activity bits, var) used to pick decision variables
+    /// without scanning every variable. Entries may be stale (the activity
+    /// may have changed since insertion); staleness only degrades the
+    /// heuristic, never correctness, because every unassigned variable is
+    /// guaranteed to have at least one entry.
+    order: std::collections::BinaryHeap<(u64, Var)>,
+    phase: Vec<bool>,
+    ok: bool,
+    /// Number of conflicts encountered (for statistics).
+    pub conflicts: u64,
+    /// Number of decisions made (for statistics).
+    pub decisions: u64,
+    /// Number of unit propagations performed (for statistics).
+    pub propagations: u64,
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> SatSolver {
+        SatSolver {
+            act_inc: 1.0,
+            ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// Allocates a fresh propositional variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assign.len() as Var;
+        self.assign.push(Value::Unassigned);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.push((0, v));
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    fn lit_value(&self, l: Lit) -> Value {
+        match self.assign[l.var() as usize] {
+            Value::Unassigned => Value::Unassigned,
+            Value::True => {
+                if l.is_positive() {
+                    Value::True
+                } else {
+                    Value::False
+                }
+            }
+            Value::False => {
+                if l.is_positive() {
+                    Value::False
+                } else {
+                    Value::True
+                }
+            }
+        }
+    }
+
+    /// The current value of a variable, if assigned.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assign[v as usize] {
+            Value::True => Some(true),
+            Value::False => Some(false),
+            Value::Unassigned => None,
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Returns `false` if the clause system became trivially
+    /// unsatisfiable (empty clause at level 0).
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+        if !self.ok {
+            return false;
+        }
+        // We may be called mid-search (theory conflict clauses). Backtrack to
+        // the root level so that clause insertion stays simple and correct.
+        self.backtrack(0);
+        lits.sort();
+        lits.dedup();
+        // Remove clauses satisfied at level 0 and false literals.
+        let mut i = 0;
+        while i < lits.len() {
+            if i + 1 < lits.len() && lits[i].var() == lits[i + 1].var() {
+                return true; // contains l and ~l: tautology
+            }
+            match self.lit_value(lits[i]) {
+                Value::True => return true,
+                Value::False => {
+                    lits.remove(i);
+                }
+                Value::Unassigned => i += 1,
+            }
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(lits[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(lits, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learned: bool) -> usize {
+        let idx = self.clauses.len();
+        self.watches[lits[0].negate().index()].push(idx);
+        self.watches[lits[1].negate().index()].push(idx);
+        self.clauses.push(Clause { lits, learned });
+        idx
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) {
+        debug_assert_eq!(self.lit_value(l), Value::Unassigned);
+        let v = l.var() as usize;
+        self.assign[v] = if l.is_positive() {
+            Value::True
+        } else {
+            Value::False
+        };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.phase[v] = l.is_positive();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.prop_head < self.trail.len() {
+            let l = self.trail[self.prop_head];
+            self.prop_head += 1;
+            self.propagations += 1;
+            // Clauses watching ~l need attention (we store watches under the
+            // literal that, when made true, might falsify the watched lit).
+            let watch_list = std::mem::take(&mut self.watches[l.index()]);
+            let mut keep = Vec::with_capacity(watch_list.len());
+            let mut conflict = None;
+            let mut wi = 0;
+            while wi < watch_list.len() {
+                let ci = watch_list[wi];
+                wi += 1;
+                let watched_false = l.negate();
+                // Ensure the false literal is at position 1.
+                if self.clauses[ci].lits[0] == watched_false {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                let first = self.clauses[ci].lits[0];
+                if self.lit_value(first) == Value::True {
+                    keep.push(ci);
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.lit_value(cand) != Value::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[cand.negate().index()].push(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                keep.push(ci);
+                if self.lit_value(first) == Value::False {
+                    // Conflict.
+                    keep.extend_from_slice(&watch_list[wi..]);
+                    conflict = Some(ci);
+                    break;
+                } else {
+                    self.enqueue(first, Some(ci));
+                }
+            }
+            self.watches[l.index()] = {
+                let mut w = keep;
+                w.extend(std::mem::take(&mut self.watches[l.index()]));
+                w
+            };
+            if conflict.is_some() {
+                self.prop_head = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v as usize] += self.act_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+        self.order.push((self.activity[v as usize].to_bits(), v));
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause and the level
+    /// to backjump to.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![];
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut clause_idx = conflict;
+        let mut trail_pos = self.trail.len();
+        let cur_level = self.decision_level();
+
+        loop {
+            let lits: Vec<Lit> = self.clauses[clause_idx].lits.clone();
+            for &q in &lits {
+                // Skip the literal we are currently resolving on (it occurs in
+                // its own reason clause with the opposite polarity).
+                if p.map_or(false, |pl| pl.var() == q.var()) {
+                    continue;
+                }
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(q.var());
+                    if self.level[v] == cur_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail (at current level) to resolve.
+            loop {
+                trail_pos -= 1;
+                let l = self.trail[trail_pos];
+                if seen[l.var() as usize] {
+                    p = Some(l.negate());
+                    seen[l.var() as usize] = false;
+                    counter -= 1;
+                    if counter == 0 {
+                        break;
+                    }
+                    clause_idx = self.reason[l.var() as usize].expect("reason for implied lit");
+                    break;
+                }
+            }
+            if counter == 0 {
+                break;
+            }
+        }
+        let uip = p.expect("first UIP literal");
+        learned.insert(0, uip);
+        // Backjump level = max level among the other literals.
+        let bj = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        (learned, bj)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        while self.trail.len() > target {
+            let l = self.trail.pop().unwrap();
+            let v = l.var() as usize;
+            self.assign[v] = Value::Unassigned;
+            self.reason[v] = None;
+            self.order.push((self.activity[v].to_bits(), l.var()));
+        }
+        self.trail_lim.truncate(level as usize);
+        self.prop_head = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some((_, v)) = self.order.pop() {
+            if self.assign[v as usize] == Value::Unassigned {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Searches for a satisfying assignment of the current clause set.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_budget(u64::MAX)
+    }
+
+    /// Searches with a conflict budget; returns [`SatResult::Unknown`] when
+    /// the budget is exhausted.
+    pub fn solve_with_budget(&mut self, max_conflicts: u64) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+        self.search(max_conflicts)
+    }
+
+    /// Continues the search from the current trail without resetting it. Used
+    /// by the lazy DPLL(T) driver after [`SatSolver::add_theory_conflict`] so
+    /// that each theory round only repairs the part of the assignment the new
+    /// clause invalidates instead of re-enumerating the whole model.
+    pub fn solve_continue(&mut self) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.search(u64::MAX)
+    }
+
+    /// Adds a clause learned from a theory conflict while a (complete)
+    /// assignment is in place. Backtracks just far enough for the clause to
+    /// stop being falsified, attaches it, and enqueues its asserting literal
+    /// when it is unit. Returns `false` if the clause system became
+    /// unsatisfiable.
+    pub fn add_theory_conflict(&mut self, mut lits: Vec<Lit>) -> bool {
+        if !self.ok {
+            return false;
+        }
+        lits.sort();
+        lits.dedup();
+        if lits.is_empty() {
+            self.ok = false;
+            return false;
+        }
+        // If some literal is already true the clause is satisfied; attach it
+        // for completeness (it may matter after backtracking) and move on.
+        if lits.iter().any(|&l| self.lit_value(l) == Value::True) {
+            if lits.len() >= 2 {
+                self.attach_clause(lits, true);
+            }
+            return true;
+        }
+        // Level of each (false) literal; unassigned literals count as the
+        // current level so that we do not backtrack past them.
+        let level_of = |s: &Self, l: Lit| -> u32 {
+            match s.lit_value(l) {
+                Value::Unassigned => s.decision_level(),
+                _ => s.level[l.var() as usize],
+            }
+        };
+        let highest = lits.iter().map(|&l| level_of(self, l)).max().unwrap_or(0);
+        if highest == 0 {
+            // Falsified at the root level: unsatisfiable.
+            self.ok = false;
+            return false;
+        }
+        self.backtrack(highest - 1);
+        // Order the literals so that unassigned ones come first, then false
+        // literals by decreasing level — the two watched positions must be the
+        // last literals of the clause to become false.
+        lits.sort_by_key(|&l| match self.lit_value(l) {
+            Value::Unassigned => (0u8, 0i64),
+            _ => (1u8, -(self.level[l.var() as usize] as i64)),
+        });
+        let unassigned = lits
+            .iter()
+            .filter(|&&l| self.lit_value(l) == Value::Unassigned)
+            .count();
+        if lits.len() == 1 {
+            // Unit at the root of its level; assert it at level 0.
+            self.backtrack(0);
+            match self.lit_value(lits[0]) {
+                Value::True => {}
+                Value::False => {
+                    self.ok = false;
+                    return false;
+                }
+                Value::Unassigned => {
+                    self.enqueue(lits[0], None);
+                    if self.propagate().is_some() {
+                        self.ok = false;
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        let ci = self.attach_clause(lits.clone(), true);
+        if unassigned == 1 {
+            // The clause is asserting: propagate its only unassigned literal.
+            self.enqueue(lits[0], Some(ci));
+        }
+        true
+    }
+
+    /// The CDCL search loop over the current trail.
+    fn search(&mut self, max_conflicts: u64) -> SatResult {
+        let mut restart_limit = 100u64;
+        let mut conflicts_here = 0u64;
+        let mut conflicts_since_restart = 0u64;
+        loop {
+            if let Some(conf) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_here += 1;
+                conflicts_since_restart += 1;
+                if conflicts_here > max_conflicts {
+                    return SatResult::Unknown;
+                }
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                let (learned, bj) = self.analyze(conf);
+                self.backtrack(bj);
+                self.act_inc *= 1.05;
+                if learned.len() == 1 {
+                    self.enqueue(learned[0], None);
+                } else {
+                    let ci = self.attach_clause(learned.clone(), true);
+                    self.enqueue(learned[0], Some(ci));
+                }
+                if conflicts_since_restart > restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit = restart_limit + restart_limit / 2;
+                    self.backtrack(0);
+                }
+            } else {
+                match self.pick_branch_var() {
+                    None => return SatResult::Sat,
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.phase[v as usize];
+                        self.enqueue(Lit::new(v, phase), None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of clauses currently stored (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of learned clauses currently stored.
+    pub fn num_learned(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learned).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: Var, b: bool) -> Lit {
+        Lit::new(v, b)
+    }
+
+    #[test]
+    fn lit_encoding() {
+        let l = Lit::new(3, true);
+        assert_eq!(l.var(), 3);
+        assert!(l.is_positive());
+        assert!(!l.negate().is_positive());
+        assert_eq!(l.negate().negate(), l);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![lit(a, true)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![lit(a, true)]);
+        assert!(!s.add_clause(vec![lit(a, false)]) || s.solve() == SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = SatSolver::new();
+        let vars: Vec<Var> = (0..10).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause(vec![lit(w[0], false), lit(w[1], true)]);
+        }
+        s.add_clause(vec![lit(vars[0], true)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        for &v in &vars {
+            assert_eq!(s.value(v), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: unsat. Variables p[i][j] = pigeon i in hole j.
+        let mut s = SatSolver::new();
+        let mut p = vec![];
+        for _ in 0..3 {
+            p.push(vec![s.new_var(), s.new_var()]);
+        }
+        for row in &p {
+            s.add_clause(vec![lit(row[0], true), lit(row[1], true)]);
+        }
+        for j in 0..2 {
+            for i in 0..3 {
+                for k in (i + 1)..3 {
+                    s.add_clause(vec![lit(p[i][j], false), lit(p[k][j], false)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![lit(a, true), lit(b, true)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.add_clause(vec![lit(a, false)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        s.add_clause(vec![lit(b, false)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_consistency() {
+        // Small random instances: whatever the result, if SAT then the model
+        // must satisfy every clause.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..30 {
+            let mut s = SatSolver::new();
+            let n = 12;
+            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            let mut clauses = vec![];
+            for _ in 0..40 {
+                let c: Vec<Lit> = (0..3)
+                    .map(|_| lit(vars[rng.gen_range(0..n)], rng.gen_bool(0.5)))
+                    .collect();
+                clauses.push(c.clone());
+                s.add_clause(c);
+            }
+            if s.solve() == SatResult::Sat {
+                for c in &clauses {
+                    assert!(c.iter().any(|l| {
+                        let v = s.value(l.var());
+                        v == Some(l.is_positive())
+                    }));
+                }
+            }
+        }
+    }
+}

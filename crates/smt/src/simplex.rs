@@ -1,0 +1,675 @@
+//! Linear arithmetic over rationals and integers: a general simplex solver in
+//! the style of Dutertre–de Moura, using delta-rationals for strict
+//! inequalities, plus branch-and-bound for integer variables.
+//!
+//! The solver is used in batch mode by the theory layer: all bounds derived
+//! from the asserted arithmetic literals are loaded (each carrying a literal
+//! *tag*), then [`Simplex::check`] either produces a satisfying assignment or
+//! a conflict — a set of tags of jointly inconsistent bounds.
+
+use std::collections::HashMap;
+
+use crate::rational::{DeltaRat, Rat};
+
+/// A linear expression: a constant plus a sum of `coeff * variable` terms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinExpr {
+    /// The constant offset.
+    pub constant: Rat,
+    /// Coefficients per arithmetic variable index (no zero entries).
+    pub terms: HashMap<usize, Rat>,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// The constant expression `c`.
+    pub fn constant(c: Rat) -> LinExpr {
+        LinExpr {
+            constant: c,
+            terms: HashMap::new(),
+        }
+    }
+
+    /// The expression consisting of a single variable.
+    pub fn variable(v: usize) -> LinExpr {
+        let mut terms = HashMap::new();
+        terms.insert(v, Rat::ONE);
+        LinExpr {
+            constant: Rat::ZERO,
+            terms,
+        }
+    }
+
+    /// Adds `k * v` to the expression.
+    pub fn add_term(&mut self, k: Rat, v: usize) {
+        let entry = self.terms.entry(v).or_insert(Rat::ZERO);
+        *entry = *entry + k;
+        if entry.is_zero() {
+            self.terms.remove(&v);
+        }
+    }
+
+    /// Adds another expression scaled by `k`.
+    pub fn add_scaled(&mut self, k: Rat, other: &LinExpr) {
+        self.constant = self.constant + other.constant * k;
+        for (&v, &c) in &other.terms {
+            self.add_term(c * k, v);
+        }
+    }
+
+    /// True if the expression has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// The relation of a linear constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rel {
+    /// `expr <= 0`
+    Le,
+    /// `expr < 0`
+    Lt,
+    /// `expr = 0`
+    Eq,
+    /// `expr != 0` — handled by the caller via case splitting; the simplex
+    /// core rejects it.
+    Neq,
+}
+
+/// Result of an arithmetic consistency check.
+#[derive(Clone, Debug)]
+pub enum ArithOutcome {
+    /// Satisfiable; maps every arithmetic variable to its value.
+    Sat(Vec<DeltaRat>),
+    /// Unsatisfiable; tags of a jointly inconsistent subset of constraints.
+    Conflict(Vec<usize>),
+    /// Resource limit reached (only possible with integer branching).
+    Unknown,
+}
+
+const NO_TAG: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Bound {
+    value: DeltaRat,
+    tag: usize,
+}
+
+/// The simplex solver.
+///
+/// Variables are dense indices `0..num_vars`; the caller declares which are
+/// integer-sorted. Constraints are added with [`Simplex::add_constraint`] and
+/// the final consistency check is [`Simplex::check`].
+#[derive(Clone, Debug, Default)]
+pub struct Simplex {
+    num_vars: usize,
+    is_int: Vec<bool>,
+    // Tableau: basic variable index -> row (coeffs over nonbasic variables).
+    rows: HashMap<usize, HashMap<usize, Rat>>,
+    lower: Vec<Option<Bound>>,
+    upper: Vec<Option<Bound>>,
+    assignment: Vec<DeltaRat>,
+    /// Pivot-count statistic.
+    pub pivots: u64,
+}
+
+impl Simplex {
+    /// Creates a solver with no variables.
+    pub fn new() -> Simplex {
+        Simplex::default()
+    }
+
+    /// Adds a variable; `is_int` marks it integer-sorted. Returns its index.
+    pub fn new_var(&mut self, is_int: bool) -> usize {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        self.is_int.push(is_int);
+        self.lower.push(None);
+        self.upper.push(None);
+        self.assignment.push(DeltaRat::ZERO);
+        v
+    }
+
+    /// Number of variables (including internal slack variables).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds the constraint `expr rel 0` tagged with `tag`.
+    /// Returns `Err(conflict)` on an immediately detected conflict.
+    ///
+    /// # Panics
+    /// Panics if `rel` is [`Rel::Neq`] (the caller must case-split).
+    pub fn add_constraint(&mut self, expr: &LinExpr, rel: Rel, tag: usize) -> Result<(), Vec<usize>> {
+        match rel {
+            Rel::Neq => panic!("Neq must be split by the caller"),
+            _ => {}
+        }
+        if expr.is_constant() {
+            let c = expr.constant;
+            let ok = match rel {
+                Rel::Le => c <= Rat::ZERO,
+                Rel::Lt => c < Rat::ZERO,
+                Rel::Eq => c.is_zero(),
+                Rel::Neq => unreachable!(),
+            };
+            return if ok { Ok(()) } else { Err(vec![tag]) };
+        }
+        // Normalize to a bound on a single (possibly slack) variable:
+        //   expr = constant + linear_part ;  linear_part rel -constant
+        let var = if expr.terms.len() == 1 {
+            let (&v, &c) = expr.terms.iter().next().unwrap();
+            if c == Rat::ONE {
+                Some((v, Rat::ONE))
+            } else {
+                Some((v, c))
+            }
+        } else {
+            None
+        };
+        let (x, scale) = match var {
+            Some((v, c)) => (v, c),
+            None => {
+                // Introduce a slack variable s = linear part.
+                let s = self.new_var(false);
+                let mut row = HashMap::new();
+                for (&v, &c) in &expr.terms {
+                    row.insert(v, c);
+                }
+                // Substitute any basic variables appearing in the new row.
+                let row = self.substitute_basics(row);
+                self.assignment[s] = self.row_value(&row);
+                self.rows.insert(s, row);
+                (s, Rat::ONE)
+            }
+        };
+        // linear part = scale * x ; constraint: scale*x rel -constant
+        let rhs = -expr.constant;
+        let bound = rhs / scale;
+        let flipped = scale.is_negative();
+        match (rel, flipped) {
+            (Rel::Eq, _) => {
+                self.assert_upper(x, DeltaRat::from_rat(bound), tag)?;
+                self.assert_lower(x, DeltaRat::from_rat(bound), tag)?;
+            }
+            (Rel::Le, false) => self.assert_upper(x, DeltaRat::from_rat(bound), tag)?,
+            (Rel::Le, true) => self.assert_lower(x, DeltaRat::from_rat(bound), tag)?,
+            (Rel::Lt, false) => {
+                self.assert_upper(x, DeltaRat::new(bound, -Rat::ONE), tag)?
+            }
+            (Rel::Lt, true) => self.assert_lower(x, DeltaRat::new(bound, Rat::ONE), tag)?,
+            (Rel::Neq, _) => unreachable!(),
+        }
+        Ok(())
+    }
+
+    fn substitute_basics(&self, row: HashMap<usize, Rat>) -> HashMap<usize, Rat> {
+        let mut out: HashMap<usize, Rat> = HashMap::new();
+        for (v, c) in row {
+            if let Some(basic_row) = self.rows.get(&v) {
+                for (&w, &cw) in basic_row {
+                    let e = out.entry(w).or_insert(Rat::ZERO);
+                    *e = *e + c * cw;
+                }
+            } else {
+                let e = out.entry(v).or_insert(Rat::ZERO);
+                *e = *e + c;
+            }
+        }
+        out.retain(|_, c| !c.is_zero());
+        out
+    }
+
+    fn row_value(&self, row: &HashMap<usize, Rat>) -> DeltaRat {
+        let mut val = DeltaRat::ZERO;
+        for (&v, &c) in row {
+            val = val + self.assignment[v].scale(c);
+        }
+        val
+    }
+
+    fn assert_upper(&mut self, x: usize, c: DeltaRat, tag: usize) -> Result<(), Vec<usize>> {
+        if let Some(l) = &self.lower[x] {
+            if c < l.value {
+                return Err(vec![tag, l.tag]);
+            }
+        }
+        let tighter = match &self.upper[x] {
+            Some(u) => c < u.value,
+            None => true,
+        };
+        if tighter {
+            self.upper[x] = Some(Bound { value: c, tag });
+            if !self.rows.contains_key(&x) && self.assignment[x] > c {
+                self.update_nonbasic(x, c);
+            }
+        }
+        Ok(())
+    }
+
+    fn assert_lower(&mut self, x: usize, c: DeltaRat, tag: usize) -> Result<(), Vec<usize>> {
+        if let Some(u) = &self.upper[x] {
+            if c > u.value {
+                return Err(vec![tag, u.tag]);
+            }
+        }
+        let tighter = match &self.lower[x] {
+            Some(l) => c > l.value,
+            None => true,
+        };
+        if tighter {
+            self.lower[x] = Some(Bound { value: c, tag });
+            if !self.rows.contains_key(&x) && self.assignment[x] < c {
+                self.update_nonbasic(x, c);
+            }
+        }
+        Ok(())
+    }
+
+    fn update_nonbasic(&mut self, x: usize, v: DeltaRat) {
+        let delta = v - self.assignment[x];
+        self.assignment[x] = v;
+        let basics: Vec<usize> = self.rows.keys().copied().collect();
+        for b in basics {
+            if let Some(&c) = self.rows[&b].get(&x) {
+                self.assignment[b] = self.assignment[b] + delta.scale(c);
+            }
+        }
+    }
+
+    fn violated_basic(&self) -> Option<(usize, bool)> {
+        // Bland's rule: smallest index first. Returns (var, is_below_lower).
+        let mut basics: Vec<usize> = self.rows.keys().copied().collect();
+        basics.sort_unstable();
+        for b in basics {
+            if let Some(l) = &self.lower[b] {
+                if self.assignment[b] < l.value {
+                    return Some((b, true));
+                }
+            }
+            if let Some(u) = &self.upper[b] {
+                if self.assignment[b] > u.value {
+                    return Some((b, false));
+                }
+            }
+        }
+        None
+    }
+
+    fn pivot_and_update(&mut self, xi: usize, xj: usize, v: DeltaRat) {
+        self.pivots += 1;
+        let aij = self.rows[&xi][&xj];
+        let theta = (v - self.assignment[xi]).scale(aij.recip());
+        self.assignment[xi] = v;
+        self.assignment[xj] = self.assignment[xj] + theta;
+        let basics: Vec<usize> = self.rows.keys().copied().collect();
+        for b in basics {
+            if b != xi {
+                if let Some(&c) = self.rows[&b].get(&xj) {
+                    self.assignment[b] = self.assignment[b] + theta.scale(c);
+                }
+            }
+        }
+        self.pivot(xi, xj);
+    }
+
+    fn pivot(&mut self, xi: usize, xj: usize) {
+        // xi is basic with row R: xi = sum_k a_k x_k  (xj among them).
+        let row = self.rows.remove(&xi).expect("pivot on basic var");
+        let aij = row[&xj];
+        // Solve for xj: xj = (1/aij) xi - sum_{k != j} (a_k/aij) x_k
+        let mut new_row: HashMap<usize, Rat> = HashMap::new();
+        new_row.insert(xi, aij.recip());
+        for (&k, &a) in &row {
+            if k != xj {
+                new_row.insert(k, -(a / aij));
+            }
+        }
+        // Substitute into all other rows.
+        let keys: Vec<usize> = self.rows.keys().copied().collect();
+        for b in keys {
+            let coeff = self.rows[&b].get(&xj).copied();
+            if let Some(c) = coeff {
+                let mut r = self.rows[&b].clone();
+                r.remove(&xj);
+                for (&k, &a) in &new_row {
+                    let e = r.entry(k).or_insert(Rat::ZERO);
+                    *e = *e + c * a;
+                }
+                r.retain(|_, v| !v.is_zero());
+                self.rows.insert(b, r);
+            }
+        }
+        self.rows.insert(xj, new_row);
+    }
+
+    /// Runs the simplex algorithm, then branch-and-bound if integer variables
+    /// have fractional values.
+    pub fn check(&mut self) -> ArithOutcome {
+        match self.check_rational() {
+            ArithOutcome::Sat(_) => self.branch_and_bound(0),
+            other => other,
+        }
+    }
+
+    fn check_rational(&mut self) -> ArithOutcome {
+        loop {
+            let (xi, below) = match self.violated_basic() {
+                None => return ArithOutcome::Sat(self.assignment.clone()),
+                Some(v) => v,
+            };
+            let row: Vec<(usize, Rat)> = {
+                let mut r: Vec<(usize, Rat)> = self.rows[&xi].iter().map(|(&k, &v)| (k, v)).collect();
+                r.sort_unstable_by_key(|&(k, _)| k);
+                r
+            };
+            if below {
+                let target = self.lower[xi].as_ref().unwrap().value;
+                // Need to increase xi.
+                let mut pivot_var = None;
+                for &(xj, a) in &row {
+                    let can = if a.is_positive() {
+                        self.upper[xj]
+                            .as_ref()
+                            .map_or(true, |u| self.assignment[xj] < u.value)
+                    } else {
+                        self.lower[xj]
+                            .as_ref()
+                            .map_or(true, |l| self.assignment[xj] > l.value)
+                    };
+                    if can {
+                        pivot_var = Some(xj);
+                        break;
+                    }
+                }
+                match pivot_var {
+                    Some(xj) => self.pivot_and_update(xi, xj, target),
+                    None => {
+                        // Conflict: lower bound of xi plus the blocking bounds.
+                        let mut tags = vec![self.lower[xi].as_ref().unwrap().tag];
+                        for &(xj, a) in &row {
+                            if a.is_positive() {
+                                tags.push(self.upper[xj].as_ref().unwrap().tag);
+                            } else {
+                                tags.push(self.lower[xj].as_ref().unwrap().tag);
+                            }
+                        }
+                        tags.retain(|&t| t != NO_TAG);
+                        tags.sort_unstable();
+                        tags.dedup();
+                        return ArithOutcome::Conflict(tags);
+                    }
+                }
+            } else {
+                let target = self.upper[xi].as_ref().unwrap().value;
+                // Need to decrease xi.
+                let mut pivot_var = None;
+                for &(xj, a) in &row {
+                    let can = if a.is_positive() {
+                        self.lower[xj]
+                            .as_ref()
+                            .map_or(true, |l| self.assignment[xj] > l.value)
+                    } else {
+                        self.upper[xj]
+                            .as_ref()
+                            .map_or(true, |u| self.assignment[xj] < u.value)
+                    };
+                    if can {
+                        pivot_var = Some(xj);
+                        break;
+                    }
+                }
+                match pivot_var {
+                    Some(xj) => self.pivot_and_update(xi, xj, target),
+                    None => {
+                        let mut tags = vec![self.upper[xi].as_ref().unwrap().tag];
+                        for &(xj, a) in &row {
+                            if a.is_positive() {
+                                tags.push(self.lower[xj].as_ref().unwrap().tag);
+                            } else {
+                                tags.push(self.upper[xj].as_ref().unwrap().tag);
+                            }
+                        }
+                        tags.retain(|&t| t != NO_TAG);
+                        tags.sort_unstable();
+                        tags.dedup();
+                        return ArithOutcome::Conflict(tags);
+                    }
+                }
+            }
+        }
+    }
+
+    fn branch_and_bound(&mut self, depth: usize) -> ArithOutcome {
+        const MAX_DEPTH: usize = 60;
+        let assignment = match self.check_rational() {
+            ArithOutcome::Sat(a) => a,
+            other => return other,
+        };
+        // Find an integer variable with a fractional (or infinitesimal) value.
+        let frac = (0..self.num_vars).find(|&v| {
+            self.is_int[v]
+                && (!assignment[v].delta.is_zero() || !assignment[v].real.is_integer())
+        });
+        let v = match frac {
+            None => return ArithOutcome::Sat(assignment),
+            Some(v) => v,
+        };
+        if std::env::var("IDS_SMT_DEBUG").is_ok() {
+            eprintln!("BB depth={} var={} val={}", depth, v, assignment[v]);
+        }
+        if depth >= MAX_DEPTH {
+            return ArithOutcome::Unknown;
+        }
+        let val = assignment[v];
+        // The two branches x <= floor(val) and x >= floor(val) + 1. For values
+        // with a negative delta at an integer point, floor of the real part
+        // still gives the right split.
+        let fl = if val.delta.is_negative() && val.real.is_integer() {
+            val.real.floor() - 1
+        } else {
+            val.real.floor()
+        };
+        // Branch order heuristic: if the infinitesimal pushes the value
+        // upwards (a strict lower bound is active), explore the "round up"
+        // branch first — this avoids chasing unbounded descents when the
+        // fractional value keeps shifting between variables.
+        let up_first = val.delta.is_positive();
+        let run_up = |this: &Simplex| -> ArithOutcome {
+            let mut s = this.clone();
+            match s.assert_lower(v, DeltaRat::from_rat(Rat::from_int(fl + 1)), NO_TAG) {
+                Err(mut tags) => {
+                    tags.retain(|&t| t != NO_TAG);
+                    ArithOutcome::Conflict(tags)
+                }
+                Ok(()) => s.branch_and_bound(depth + 1),
+            }
+        };
+        let run_down = |this: &Simplex| -> ArithOutcome {
+            let mut s = this.clone();
+            match s.assert_upper(v, DeltaRat::from_rat(Rat::from_int(fl)), NO_TAG) {
+                Err(mut tags) => {
+                    tags.retain(|&t| t != NO_TAG);
+                    ArithOutcome::Conflict(tags)
+                }
+                Ok(()) => s.branch_and_bound(depth + 1),
+            }
+        };
+        let first_out = if up_first { run_up(self) } else { run_down(self) };
+        if let ArithOutcome::Sat(a) = first_out {
+            return ArithOutcome::Sat(a);
+        }
+        let second_out = if up_first { run_down(self) } else { run_up(self) };
+        let (left_out, right_out) = (first_out, second_out);
+        match (left_out, right_out) {
+            (ArithOutcome::Unknown, _) | (_, ArithOutcome::Unknown) => ArithOutcome::Unknown,
+            (ArithOutcome::Sat(a), _) | (_, ArithOutcome::Sat(a)) => ArithOutcome::Sat(a),
+            (ArithOutcome::Conflict(mut t1), ArithOutcome::Conflict(t2)) => {
+                t1.extend(t2);
+                t1.retain(|&t| t != NO_TAG);
+                t1.sort_unstable();
+                t1.dedup();
+                ArithOutcome::Conflict(t1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(s: &mut Simplex, terms: &[(i128, usize)], rhs: i128, tag: usize) {
+        // sum terms <= rhs  ==>  sum terms - rhs <= 0
+        let mut e = LinExpr::constant(Rat::from_int(-rhs));
+        for &(c, v) in terms {
+            e.add_term(Rat::from_int(c), v);
+        }
+        s.add_constraint(&e, Rel::Le, tag).unwrap();
+    }
+
+    #[test]
+    fn simple_feasible() {
+        let mut s = Simplex::new();
+        let x = s.new_var(false);
+        let y = s.new_var(false);
+        le(&mut s, &[(1, x), (1, y)], 10, 0);
+        le(&mut s, &[(-1, x)], -2, 1); // x >= 2
+        le(&mut s, &[(-1, y)], -3, 2); // y >= 3
+        assert!(matches!(s.check(), ArithOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn simple_infeasible_with_core() {
+        // The conflict between two direct bounds is detected either eagerly at
+        // assertion time or by the check; either way the core is {0, 1}.
+        let mut s = Simplex::new();
+        let x = s.new_var(false);
+        let mut e1 = LinExpr::constant(Rat::from_int(-1));
+        e1.add_term(Rat::ONE, x);
+        s.add_constraint(&e1, Rel::Le, 0).unwrap(); // x <= 1
+        let mut e2 = LinExpr::constant(Rat::from_int(5));
+        e2.add_term(-Rat::ONE, x);
+        let tags = match s.add_constraint(&e2, Rel::Le, 1) {
+            Err(tags) => tags,
+            Ok(()) => match s.check() {
+                ArithOutcome::Conflict(tags) => tags,
+                other => panic!("expected conflict, got {:?}", other),
+            },
+        };
+        let mut tags = tags;
+        tags.sort_unstable();
+        assert_eq!(tags, vec![0, 1]);
+    }
+
+    #[test]
+    fn chain_infeasible() {
+        // x <= y, y <= z, z <= x - 1 : infeasible.
+        let mut s = Simplex::new();
+        let x = s.new_var(false);
+        let y = s.new_var(false);
+        let z = s.new_var(false);
+        le(&mut s, &[(1, x), (-1, y)], 0, 0);
+        le(&mut s, &[(1, y), (-1, z)], 0, 1);
+        le(&mut s, &[(1, z), (-1, x)], -1, 2);
+        match s.check() {
+            ArithOutcome::Conflict(tags) => {
+                assert_eq!(tags, vec![0, 1, 2]);
+            }
+            other => panic!("expected conflict, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn strict_inequality() {
+        // x < 1 and x > 0 is satisfiable over rationals.
+        let mut s = Simplex::new();
+        let x = s.new_var(false);
+        let mut e1 = LinExpr::constant(Rat::from_int(-1));
+        e1.add_term(Rat::ONE, x);
+        s.add_constraint(&e1, Rel::Lt, 0).unwrap(); // x - 1 < 0
+        let mut e2 = LinExpr::zero();
+        e2.add_term(-Rat::ONE, x);
+        s.add_constraint(&e2, Rel::Lt, 1).unwrap(); // -x < 0
+        assert!(matches!(s.check(), ArithOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn strict_cycle_infeasible() {
+        // x < y and y < x.
+        let mut s = Simplex::new();
+        let x = s.new_var(false);
+        let y = s.new_var(false);
+        let mut e1 = LinExpr::zero();
+        e1.add_term(Rat::ONE, x);
+        e1.add_term(-Rat::ONE, y);
+        s.add_constraint(&e1, Rel::Lt, 0).unwrap();
+        let mut e2 = LinExpr::zero();
+        e2.add_term(Rat::ONE, y);
+        e2.add_term(-Rat::ONE, x);
+        s.add_constraint(&e2, Rel::Lt, 1).unwrap();
+        assert!(matches!(s.check(), ArithOutcome::Conflict(_)));
+    }
+
+    #[test]
+    fn integer_branching() {
+        // 0 < x < 1 with x integer: infeasible; over rationals feasible.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let mut e1 = LinExpr::constant(Rat::from_int(-1));
+        e1.add_term(Rat::ONE, x);
+        s.add_constraint(&e1, Rel::Lt, 0).unwrap();
+        let mut e2 = LinExpr::zero();
+        e2.add_term(-Rat::ONE, x);
+        s.add_constraint(&e2, Rel::Lt, 1).unwrap();
+        assert!(matches!(s.check(), ArithOutcome::Conflict(_)));
+    }
+
+    #[test]
+    fn integer_feasible() {
+        // 2x + 3y = 12, x >= 1, y >= 1 has integer solution x=3,y=2.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let y = s.new_var(true);
+        let mut e = LinExpr::constant(Rat::from_int(-12));
+        e.add_term(Rat::from_int(2), x);
+        e.add_term(Rat::from_int(3), y);
+        s.add_constraint(&e, Rel::Eq, 0).unwrap();
+        le(&mut s, &[(-1, x)], -1, 1);
+        le(&mut s, &[(-1, y)], -1, 2);
+        match s.check() {
+            ArithOutcome::Sat(a) => {
+                assert!(a[x].real.is_integer() && a[x].delta.is_zero());
+                assert!(a[y].real.is_integer() && a[y].delta.is_zero());
+            }
+            other => panic!("expected sat, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn equality_propagation_style() {
+        // x = y + 1, y = z + 1, x = z : infeasible.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let y = s.new_var(true);
+        let z = s.new_var(true);
+        let mut e1 = LinExpr::constant(Rat::from_int(-1));
+        e1.add_term(Rat::ONE, x);
+        e1.add_term(-Rat::ONE, y);
+        s.add_constraint(&e1, Rel::Eq, 0).unwrap();
+        let mut e2 = LinExpr::constant(Rat::from_int(-1));
+        e2.add_term(Rat::ONE, y);
+        e2.add_term(-Rat::ONE, z);
+        s.add_constraint(&e2, Rel::Eq, 1).unwrap();
+        let mut e3 = LinExpr::zero();
+        e3.add_term(Rat::ONE, x);
+        e3.add_term(-Rat::ONE, z);
+        s.add_constraint(&e3, Rel::Eq, 2).unwrap();
+        assert!(matches!(s.check(), ArithOutcome::Conflict(_)));
+    }
+}

@@ -1,0 +1,347 @@
+//! The lazy DPLL(T) driver tying together lowering, CNF conversion, the CDCL
+//! SAT core and the combined theory checker.
+//!
+//! The loop is the classic *offline lazy SMT* scheme: find a propositional
+//! model of the lowered formula, check it against the theories, and if the
+//! theories reject it add the (negated) conflict explanation as a new clause
+//! and repeat. Because the lowering pass already instantiated all the set and
+//! array structure, termination is guaranteed for the decidable FWYB fragment
+//! (finitely many propositional models, each rejected at most once).
+
+use crate::cnf::{tseitin, AtomMap};
+use crate::lower::lower;
+use crate::model::Model;
+use crate::quant::{contains_forall, eliminate_quantifiers, QuantConfig};
+use crate::sat::{SatResult, SatSolver};
+use crate::term::{TermId, TermManager};
+use crate::theory::{TheoryCheck, TheoryChecker};
+
+/// Tuning knobs of the solver.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverConfig {
+    /// Maximum number of theory-check/conflict-clause rounds.
+    pub max_theory_rounds: usize,
+    /// Whether quantifiers are allowed (RQ3 quantified mode); if false, a
+    /// formula containing `forall` yields `Unknown`.
+    pub allow_quantifiers: bool,
+    /// Quantifier instantiation configuration (quantified mode only).
+    pub quant: QuantConfig,
+    /// If true (the default), the CDCL search is continued across theory
+    /// rounds instead of being restarted from scratch after every theory
+    /// conflict clause. The `ablation_bench` bench compares both modes.
+    pub incremental_sat: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_theory_rounds: 200_000,
+            allow_quantifiers: false,
+            quant: QuantConfig::default(),
+            incremental_sat: true,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The configuration used for the quantified (Dafny-style) encoding.
+    pub fn quantified() -> SolverConfig {
+        SolverConfig {
+            allow_quantifiers: true,
+            ..SolverConfig::default()
+        }
+    }
+}
+
+/// Statistics of the last `check` call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Theory check rounds performed.
+    pub theory_rounds: u64,
+    /// SAT conflicts.
+    pub sat_conflicts: u64,
+    /// SAT decisions.
+    pub sat_decisions: u64,
+    /// Number of clauses after CNF conversion (before learning).
+    pub initial_clauses: u64,
+    /// Number of theory atoms.
+    pub atoms: u64,
+    /// Wall-clock time spent inside the SAT core.
+    pub sat_time: std::time::Duration,
+    /// Wall-clock time spent inside the theory checker.
+    pub theory_time: std::time::Duration,
+}
+
+/// The SMT solver facade.
+///
+/// # Example
+/// ```
+/// use ids_smt::{TermManager, Sort, Solver, SatResult};
+/// let mut tm = TermManager::new();
+/// let x = tm.var("x", Sort::Loc);
+/// let y = tm.var("y", Sort::Loc);
+/// let f = tm.app("f", vec![x], Sort::Int);
+/// let g = tm.app("f", vec![y], Sort::Int);
+/// let eq_xy = tm.eq(x, y);
+/// let ne_fg = tm.neq(f, g);
+/// let mut solver = Solver::new();
+/// assert_eq!(solver.check(&mut tm, &[eq_xy, ne_fg]), SatResult::Unsat);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    config: SolverConfig,
+    stats: SolverStats,
+    model: Option<Model>,
+}
+
+impl Solver {
+    /// Creates a solver with the default (decidable-mode) configuration.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver {
+            config,
+            ..Solver::default()
+        }
+    }
+
+    /// Statistics of the last `check` call.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// The model of the last `check` call, if it returned [`SatResult::Sat`].
+    pub fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+
+    /// Checks satisfiability of the conjunction of `assertions`.
+    pub fn check(&mut self, tm: &mut TermManager, assertions: &[TermId]) -> SatResult {
+        self.stats = SolverStats::default();
+        self.model = None;
+
+        let has_quant = assertions.iter().any(|&a| contains_forall(tm, a));
+        let mut approximate = false;
+        let assertions: Vec<TermId> = if has_quant {
+            if !self.config.allow_quantifiers {
+                return SatResult::Unknown;
+            }
+            let (out, approx) = eliminate_quantifiers(tm, assertions, self.config.quant);
+            approximate = approx;
+            out
+        } else {
+            assertions.to_vec()
+        };
+        // If instantiation could not eliminate every quantifier we can still
+        // be sound for Unsat by dropping the remaining quantified assertions
+        // (weakening); a Sat answer is then reported as Unknown.
+        let assertions: Vec<TermId> = assertions
+            .into_iter()
+            .filter(|&a| !contains_forall(tm, a))
+            .collect();
+
+        let roots = lower(tm, &assertions);
+
+        let mut sat = SatSolver::new();
+        let atom_map: AtomMap = tseitin(tm, &roots, &mut sat);
+        self.stats.initial_clauses = sat.num_clauses() as u64;
+        self.stats.atoms = atom_map.atom_of_var.len() as u64;
+
+        // The expensive per-atom setup (term universe, congruence template,
+        // linearized arithmetic forms) is done once; every theory round below
+        // only resets the cheap mutable state.
+        let atoms: Vec<TermId> = atom_map.atom_of_var.values().copied().collect();
+        let checker = TheoryChecker::new(tm, &atoms);
+
+        for round in 0..self.config.max_theory_rounds {
+            self.stats.theory_rounds = round as u64 + 1;
+            let sat_start = std::time::Instant::now();
+            // The first round builds a full model; later rounds continue the
+            // search from wherever the last theory conflict clause left it.
+            let sat_result = if round == 0 || !self.config.incremental_sat {
+                sat.solve()
+            } else {
+                sat.solve_continue()
+            };
+            self.stats.sat_time += sat_start.elapsed();
+            match sat_result {
+                SatResult::Unsat => {
+                    self.stats.sat_conflicts = sat.conflicts;
+                    self.stats.sat_decisions = sat.decisions;
+                    return SatResult::Unsat;
+                }
+                SatResult::Unknown => return SatResult::Unknown,
+                SatResult::Sat => {}
+            }
+            let literals = atom_map.model_literals(&sat);
+            let theory_start = std::time::Instant::now();
+            let theory_result = checker.check(tm, &literals);
+            self.stats.theory_time += theory_start.elapsed();
+            match theory_result {
+                TheoryCheck::Consistent => {
+                    self.stats.sat_conflicts = sat.conflicts;
+                    self.stats.sat_decisions = sat.decisions;
+                    self.model = Some(Model::new(literals));
+                    // Positive-forall instantiation is incomplete: a model of
+                    // the instances is not necessarily a model of the original
+                    // formula, so report Unknown in that case.
+                    return if approximate {
+                        SatResult::Unknown
+                    } else {
+                        SatResult::Sat
+                    };
+                }
+                TheoryCheck::Unknown => {
+                    if std::env::var("IDS_SMT_DEBUG").is_ok() {
+                        for (t, b) in &literals {
+                            eprintln!("UNKNOWN-LIT {} {}", b, crate::smtlib::term_to_smtlib(tm, *t));
+                        }
+                    }
+                    return SatResult::Unknown;
+                }
+                TheoryCheck::Conflict(indices) => {
+                    // Add the blocking clause: the negation of the conflicting
+                    // literal subset.
+                    let clause: Vec<_> = indices
+                        .iter()
+                        .map(|&i| {
+                            let (atom, positive) = literals[i];
+                            atom_map.lit_of(atom, !positive)
+                        })
+                        .collect();
+                    if clause.is_empty() {
+                        // Theories rejected the empty set: the axioms alone
+                        // are inconsistent — impossible, but be safe.
+                        return SatResult::Unsat;
+                    }
+                    let clause_ok = if self.config.incremental_sat {
+                        sat.add_theory_conflict(clause)
+                    } else {
+                        sat.add_clause(clause)
+                    };
+                    if !clause_ok {
+                        self.stats.sat_conflicts = sat.conflicts;
+                        self.stats.sat_decisions = sat.decisions;
+                        return SatResult::Unsat;
+                    }
+                }
+            }
+        }
+        SatResult::Unknown
+    }
+
+    /// Convenience wrapper: checks whether `formula` is valid (its negation is
+    /// unsatisfiable).
+    pub fn check_valid(&mut self, tm: &mut TermManager, formula: TermId) -> SatResult {
+        let neg = tm.not(formula);
+        match self.check(tm, &[neg]) {
+            SatResult::Unsat => SatResult::Sat,   // valid
+            SatResult::Sat => SatResult::Unsat,   // counterexample exists
+            SatResult::Unknown => SatResult::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    #[test]
+    fn euf_arith_combination() {
+        // next(x) = y, len(y) = 3, len(next(x)) = 4 : unsat.
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Loc);
+        let y = tm.var("y", Sort::Loc);
+        let nx = tm.app("next", vec![x], Sort::Loc);
+        let len_y = tm.app("len", vec![y], Sort::Int);
+        let len_nx = tm.app("len", vec![nx], Sort::Int);
+        let three = tm.int(3);
+        let four = tm.int(4);
+        let a1 = tm.eq(nx, y);
+        let a2 = tm.eq(len_y, three);
+        let a3 = tm.eq(len_nx, four);
+        let mut s = Solver::new();
+        assert_eq!(s.check(&mut tm, &[a1, a2, a3]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_is_returned_on_sat() {
+        let mut tm = TermManager::new();
+        let p = tm.var("p", Sort::Bool);
+        let q = tm.var("q", Sort::Bool);
+        let nq = tm.not(q);
+        let f = tm.and2(p, nq);
+        let mut s = Solver::new();
+        assert_eq!(s.check(&mut tm, &[f]), SatResult::Sat);
+        let m = s.model().expect("model");
+        assert_eq!(m.value_of(p), Some(true));
+        assert_eq!(m.value_of(q), Some(false));
+    }
+
+    #[test]
+    fn check_valid_wrapper() {
+        // (x = y) -> (f(x) = f(y)) is valid.
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Loc);
+        let y = tm.var("y", Sort::Loc);
+        let fx = tm.app("f", vec![x], Sort::Int);
+        let fy = tm.app("f", vec![y], Sort::Int);
+        let eq = tm.eq(x, y);
+        let eqf = tm.eq(fx, fy);
+        let imp = tm.implies(eq, eqf);
+        let mut s = Solver::new();
+        assert_eq!(s.check_valid(&mut tm, imp), SatResult::Sat);
+        // x = y -> x = z is not valid.
+        let z = tm.var("z", Sort::Loc);
+        let eq2 = tm.eq(x, z);
+        let imp2 = tm.implies(eq, eq2);
+        assert_eq!(s.check_valid(&mut tm, imp2), SatResult::Unsat);
+    }
+
+    #[test]
+    fn quantifier_rejected_in_decidable_mode() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Loc);
+        let p = tm.app("p", vec![x], Sort::Bool);
+        let all = tm.forall(vec![("x".into(), Sort::Loc)], p);
+        let mut s = Solver::new();
+        assert_eq!(s.check(&mut tm, &[all]), SatResult::Unknown);
+    }
+
+    #[test]
+    fn sorted_list_insert_core_reasoning() {
+        // A miniature of the sorted-list LC check after insertion:
+        //   key(x) <= k, k <= key(y), next(x) = z, next(z) = y,
+        //   key(z) = k, and the claim "key(x) <= key(z) and key(z) <= key(y)".
+        // Asserting the negation of the claim must be unsat.
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Loc);
+        let y = tm.var("y", Sort::Loc);
+        let z = tm.var("z", Sort::Loc);
+        let k = tm.var("k", Sort::Int);
+        let key = |tm: &mut TermManager, l| tm.app("key", vec![l], Sort::Int);
+        let kx = key(&mut tm, x);
+        let ky = key(&mut tm, y);
+        let kz = key(&mut tm, z);
+        let nx = tm.app("next", vec![x], Sort::Loc);
+        let nz = tm.app("next", vec![z], Sort::Loc);
+        let h1 = tm.le(kx, k);
+        let h2 = tm.le(k, ky);
+        let h3 = tm.eq(nx, z);
+        let h4 = tm.eq(nz, y);
+        let h5 = tm.eq(kz, k);
+        let c1 = tm.le(kx, kz);
+        let c2 = tm.le(kz, ky);
+        let claim = tm.and2(c1, c2);
+        let nclaim = tm.not(claim);
+        let mut s = Solver::new();
+        assert_eq!(
+            s.check(&mut tm, &[h1, h2, h3, h4, h5, nclaim]),
+            SatResult::Unsat
+        );
+    }
+}

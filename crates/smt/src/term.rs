@@ -1,0 +1,705 @@
+//! Hash-consed terms and sorts.
+//!
+//! All formulas handled by the solver are ground terms of sort [`Sort::Bool`]
+//! built through a [`TermManager`]. Terms are immutable, deduplicated
+//! (hash-consed) and referenced by the copyable index [`TermId`], which makes
+//! structural equality and sub-term sharing cheap — both matter because FWYB
+//! verification conditions share large sub-formulas across asserts.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::rational::Rat;
+
+/// The sort (type) of a term.
+///
+/// `Loc` is the foreground sort of heap objects (`C?` in the paper — the
+/// distinguished constant `nil` also has this sort). `Set` and `Array` are the
+/// container sorts used to model ghost monadic maps and heap fields.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Sort {
+    /// Booleans.
+    Bool,
+    /// Mathematical integers.
+    Int,
+    /// Rationals/reals (used for `rank` maps).
+    Real,
+    /// Heap locations (including `nil`).
+    Loc,
+    /// Finite sets of elements of the given sort.
+    Set(Box<Sort>),
+    /// Total maps (arrays) from the first sort to the second.
+    Array(Box<Sort>, Box<Sort>),
+}
+
+impl Sort {
+    /// Convenience constructor for `Set(elem)`.
+    pub fn set_of(elem: Sort) -> Sort {
+        Sort::Set(Box::new(elem))
+    }
+
+    /// Convenience constructor for `Array(from, to)`.
+    pub fn array_of(from: Sort, to: Sort) -> Sort {
+        Sort::Array(Box::new(from), Box::new(to))
+    }
+
+    /// True if this is a numeric sort (Int or Real).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Sort::Int | Sort::Real)
+    }
+
+    /// True if this is a set or array sort.
+    pub fn is_container(&self) -> bool {
+        matches!(self, Sort::Set(_) | Sort::Array(_, _))
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::Int => write!(f, "Int"),
+            Sort::Real => write!(f, "Real"),
+            Sort::Loc => write!(f, "Loc"),
+            Sort::Set(e) => write!(f, "(Set {})", e),
+            Sort::Array(a, b) => write!(f, "(Array {} {})", a, b),
+        }
+    }
+}
+
+/// The head operator of a term.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Boolean constant `true`.
+    True,
+    /// Boolean constant `false`.
+    False,
+    /// Negation (1 argument).
+    Not,
+    /// N-ary conjunction.
+    And,
+    /// N-ary disjunction.
+    Or,
+    /// Implication (2 arguments).
+    Implies,
+    /// Bi-implication (2 arguments).
+    Iff,
+    /// If-then-else (3 arguments); result sort is the branch sort.
+    Ite,
+    /// Equality (2 arguments of equal sort).
+    Eq,
+    /// Pairwise distinctness (n arguments).
+    Distinct,
+    /// A free constant / variable with the given name.
+    Var(String),
+    /// An integer literal.
+    IntLit(i128),
+    /// A rational literal.
+    RealLit(Rat),
+    /// N-ary addition.
+    Add,
+    /// Binary subtraction.
+    Sub,
+    /// Unary negation of a numeric term.
+    Neg,
+    /// Multiplication by a rational constant (1 argument) — keeps arithmetic linear.
+    MulConst(Rat),
+    /// Less-or-equal (2 numeric arguments).
+    Le,
+    /// Strict less-than (2 numeric arguments).
+    Lt,
+    /// Array read: `Select(a, i)`.
+    Select,
+    /// Array write: `Store(a, i, v)`.
+    Store,
+    /// The empty set of the given element sort (0 arguments).
+    EmptySet(Sort),
+    /// Singleton set `{x}` (1 argument).
+    Singleton,
+    /// Set union (2 arguments).
+    Union,
+    /// Set intersection (2 arguments).
+    Inter,
+    /// Set difference (2 arguments).
+    Diff,
+    /// Set membership `Member(x, s)` (2 arguments).
+    Member,
+    /// Subset `Subset(s, t)` (2 arguments).
+    Subset,
+    /// Pointwise frame update `MapIte(modset, m_new, m_old)`: the map that
+    /// equals `m_new` on elements of `modset` and `m_old` elsewhere. This is
+    /// the "parameterized map update" of the generalized array theory.
+    MapIte,
+    /// Application of the named uninterpreted function to the arguments.
+    App(String),
+    /// Universal quantification over the named, sorted bound variables; the
+    /// single argument is the body. Bound variables occur in the body as
+    /// [`Op::Var`] terms with the same names. Only produced by the quantified
+    /// (Dafny-style) encoding used for RQ3.
+    Forall(Vec<(String, Sort)>),
+}
+
+/// A term: an operator applied to argument terms, with a result sort.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Term {
+    /// The head operator.
+    pub op: Op,
+    /// The argument terms.
+    pub args: Vec<TermId>,
+    /// The sort of the term.
+    pub sort: Sort,
+}
+
+/// An index identifying a hash-consed term inside its [`TermManager`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Owns and deduplicates all terms of a solving session.
+///
+/// # Example
+/// ```
+/// use ids_smt::{TermManager, Sort};
+/// let mut tm = TermManager::new();
+/// let x = tm.var("x", Sort::Int);
+/// let y = tm.var("y", Sort::Int);
+/// let e1 = tm.add(x, y);
+/// let e2 = tm.add(x, y);
+/// assert_eq!(e1, e2); // hash-consed
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TermManager {
+    terms: Vec<Term>,
+    table: HashMap<(Op, Vec<TermId>), TermId>,
+    fresh_counter: u64,
+}
+
+impl TermManager {
+    /// Creates an empty term manager.
+    pub fn new() -> TermManager {
+        TermManager::default()
+    }
+
+    /// Number of distinct terms created so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms have been created.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns the term structure behind an id.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.0 as usize]
+    }
+
+    /// Returns the sort of a term.
+    pub fn sort(&self, id: TermId) -> &Sort {
+        &self.terms[id.0 as usize].sort
+    }
+
+    /// Iterates over all `(id, term)` pairs created so far.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+
+    /// Interns a term, reusing an existing identical term when possible.
+    pub fn mk(&mut self, op: Op, args: Vec<TermId>, sort: Sort) -> TermId {
+        let key = (op.clone(), args.clone());
+        if let Some(&id) = self.table.get(&key) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(Term { op, args, sort });
+        self.table.insert(key, id);
+        id
+    }
+
+    /// Returns a variable name guaranteed not to have been produced before by
+    /// this method (used for Skolem witnesses and Tseitin-style fresh symbols).
+    pub fn fresh_name(&mut self, prefix: &str) -> String {
+        self.fresh_counter += 1;
+        format!("{}!{}", prefix, self.fresh_counter)
+    }
+
+    /// Creates a fresh variable with the given prefix and sort.
+    pub fn fresh_var(&mut self, prefix: &str, sort: Sort) -> TermId {
+        let name = self.fresh_name(prefix);
+        self.var(&name, sort)
+    }
+
+    // ---------------------------------------------------------------- core
+
+    /// The constant `true`.
+    pub fn tru(&mut self) -> TermId {
+        self.mk(Op::True, vec![], Sort::Bool)
+    }
+
+    /// The constant `false`.
+    pub fn fls(&mut self) -> TermId {
+        self.mk(Op::False, vec![], Sort::Bool)
+    }
+
+    /// A named free constant of the given sort.
+    pub fn var(&mut self, name: &str, sort: Sort) -> TermId {
+        self.mk(Op::Var(name.to_string()), vec![], sort)
+    }
+
+    /// Boolean negation, with double-negation and constant folding.
+    pub fn not(&mut self, t: TermId) -> TermId {
+        match self.term(t).op.clone() {
+            Op::True => self.fls(),
+            Op::False => self.tru(),
+            Op::Not => self.term(t).args[0],
+            _ => self.mk(Op::Not, vec![t], Sort::Bool),
+        }
+    }
+
+    /// N-ary conjunction with flattening and unit/zero folding.
+    pub fn and(&mut self, ts: Vec<TermId>) -> TermId {
+        let mut flat = Vec::new();
+        for t in ts {
+            match self.term(t).op {
+                Op::True => {}
+                Op::False => return self.fls(),
+                Op::And => flat.extend(self.term(t).args.clone()),
+                _ => flat.push(t),
+            }
+        }
+        flat.dedup();
+        match flat.len() {
+            0 => self.tru(),
+            1 => flat[0],
+            _ => self.mk(Op::And, flat, Sort::Bool),
+        }
+    }
+
+    /// N-ary disjunction with flattening and unit/zero folding.
+    pub fn or(&mut self, ts: Vec<TermId>) -> TermId {
+        let mut flat = Vec::new();
+        for t in ts {
+            match self.term(t).op {
+                Op::False => {}
+                Op::True => return self.tru(),
+                Op::Or => flat.extend(self.term(t).args.clone()),
+                _ => flat.push(t),
+            }
+        }
+        flat.dedup();
+        match flat.len() {
+            0 => self.fls(),
+            1 => flat[0],
+            _ => self.mk(Op::Or, flat, Sort::Bool),
+        }
+    }
+
+    /// Binary conjunction.
+    pub fn and2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.and(vec![a, b])
+    }
+
+    /// Binary disjunction.
+    pub fn or2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.or(vec![a, b])
+    }
+
+    /// Implication `a => b`.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        if self.term(a).op == Op::True {
+            return b;
+        }
+        if self.term(a).op == Op::False {
+            return self.tru();
+        }
+        if self.term(b).op == Op::True {
+            return self.tru();
+        }
+        self.mk(Op::Implies, vec![a, b], Sort::Bool)
+    }
+
+    /// Bi-implication `a <=> b`.
+    pub fn iff(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.tru();
+        }
+        self.mk(Op::Iff, vec![a, b], Sort::Bool)
+    }
+
+    /// If-then-else. For Boolean branches this is kept as `Ite` and handled by
+    /// the CNF conversion; for other sorts it is eliminated by the lowering
+    /// pass.
+    pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        match self.term(c).op {
+            Op::True => return t,
+            Op::False => return e,
+            _ => {}
+        }
+        if t == e {
+            return t;
+        }
+        let sort = self.sort(t).clone();
+        debug_assert_eq!(&sort, self.sort(e), "ite branch sorts differ");
+        self.mk(Op::Ite, vec![c, t, e], sort)
+    }
+
+    /// Equality. Boolean equalities are turned into `Iff`.
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.tru();
+        }
+        if self.sort(a) == &Sort::Bool {
+            return self.iff(a, b);
+        }
+        // Order arguments for better sharing.
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        // Constant folding on numeric literals.
+        if let (Op::IntLit(x), Op::IntLit(y)) = (&self.term(a).op, &self.term(b).op) {
+            return if x == y { self.tru() } else { self.fls() };
+        }
+        self.mk(Op::Eq, vec![a, b], Sort::Bool)
+    }
+
+    /// Disequality `a != b`.
+    pub fn neq(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Pairwise distinctness of all arguments.
+    pub fn distinct(&mut self, ts: Vec<TermId>) -> TermId {
+        if ts.len() <= 1 {
+            return self.tru();
+        }
+        self.mk(Op::Distinct, ts, Sort::Bool)
+    }
+
+    // ---------------------------------------------------------- arithmetic
+
+    /// Integer literal.
+    pub fn int(&mut self, n: i128) -> TermId {
+        self.mk(Op::IntLit(n), vec![], Sort::Int)
+    }
+
+    /// Rational literal.
+    pub fn real(&mut self, r: Rat) -> TermId {
+        self.mk(Op::RealLit(r), vec![], Sort::Real)
+    }
+
+    fn numeric_sort(&self, ts: &[TermId]) -> Sort {
+        if ts.iter().any(|t| self.sort(*t) == &Sort::Real) {
+            Sort::Real
+        } else {
+            Sort::Int
+        }
+    }
+
+    /// Binary addition.
+    pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        self.add_many(vec![a, b])
+    }
+
+    /// N-ary addition.
+    pub fn add_many(&mut self, ts: Vec<TermId>) -> TermId {
+        let sort = self.numeric_sort(&ts);
+        if ts.len() == 1 {
+            return ts[0];
+        }
+        self.mk(Op::Add, ts, sort)
+    }
+
+    /// Binary subtraction.
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        let sort = self.numeric_sort(&[a, b]);
+        self.mk(Op::Sub, vec![a, b], sort)
+    }
+
+    /// Numeric negation.
+    pub fn neg(&mut self, a: TermId) -> TermId {
+        let sort = self.sort(a).clone();
+        self.mk(Op::Neg, vec![a], sort)
+    }
+
+    /// Multiplication of a term by a rational constant.
+    pub fn mul_const(&mut self, k: Rat, a: TermId) -> TermId {
+        if k == Rat::ONE {
+            return a;
+        }
+        let sort = if k.is_integer() && self.sort(a) == &Sort::Int {
+            Sort::Int
+        } else {
+            Sort::Real
+        };
+        self.mk(Op::MulConst(k), vec![a], sort)
+    }
+
+    /// `a <= b`.
+    pub fn le(&mut self, a: TermId, b: TermId) -> TermId {
+        self.mk(Op::Le, vec![a, b], Sort::Bool)
+    }
+
+    /// `a < b`.
+    pub fn lt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.mk(Op::Lt, vec![a, b], Sort::Bool)
+    }
+
+    /// `a >= b` (normalized to `b <= a`).
+    pub fn ge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.le(b, a)
+    }
+
+    /// `a > b` (normalized to `b < a`).
+    pub fn gt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.lt(b, a)
+    }
+
+    // ------------------------------------------------------------- arrays
+
+    /// Array read `a[i]`.
+    pub fn select(&mut self, a: TermId, i: TermId) -> TermId {
+        let sort = match self.sort(a) {
+            Sort::Array(_, to) => (**to).clone(),
+            s => panic!("select on non-array sort {}", s),
+        };
+        self.mk(Op::Select, vec![a, i], sort)
+    }
+
+    /// Array write `a[i := v]`.
+    pub fn store(&mut self, a: TermId, i: TermId, v: TermId) -> TermId {
+        let sort = self.sort(a).clone();
+        self.mk(Op::Store, vec![a, i, v], sort)
+    }
+
+    /// Pointwise frame update `ite(modset, m_new, m_old)` over whole maps.
+    pub fn map_ite(&mut self, modset: TermId, m_new: TermId, m_old: TermId) -> TermId {
+        let sort = self.sort(m_old).clone();
+        self.mk(Op::MapIte, vec![modset, m_new, m_old], sort)
+    }
+
+    // --------------------------------------------------------------- sets
+
+    /// The empty set of the given element sort.
+    pub fn empty_set(&mut self, elem: Sort) -> TermId {
+        let sort = Sort::set_of(elem.clone());
+        self.mk(Op::EmptySet(elem), vec![], sort)
+    }
+
+    /// The singleton set `{x}`.
+    pub fn singleton(&mut self, x: TermId) -> TermId {
+        let sort = Sort::set_of(self.sort(x).clone());
+        self.mk(Op::Singleton, vec![x], sort)
+    }
+
+    /// Set union.
+    pub fn union(&mut self, a: TermId, b: TermId) -> TermId {
+        let sort = self.sort(a).clone();
+        self.mk(Op::Union, vec![a, b], sort)
+    }
+
+    /// Set intersection.
+    pub fn inter(&mut self, a: TermId, b: TermId) -> TermId {
+        let sort = self.sort(a).clone();
+        self.mk(Op::Inter, vec![a, b], sort)
+    }
+
+    /// Set difference `a \ b`.
+    pub fn diff(&mut self, a: TermId, b: TermId) -> TermId {
+        let sort = self.sort(a).clone();
+        self.mk(Op::Diff, vec![a, b], sort)
+    }
+
+    /// Set membership `x ∈ s`.
+    pub fn member(&mut self, x: TermId, s: TermId) -> TermId {
+        self.mk(Op::Member, vec![x, s], Sort::Bool)
+    }
+
+    /// Subset `s ⊆ t`.
+    pub fn subset(&mut self, s: TermId, t: TermId) -> TermId {
+        self.mk(Op::Subset, vec![s, t], Sort::Bool)
+    }
+
+    // ---------------------------------------------------- applications etc.
+
+    /// Application of the named uninterpreted function.
+    pub fn app(&mut self, name: &str, args: Vec<TermId>, sort: Sort) -> TermId {
+        self.mk(Op::App(name.to_string()), args, sort)
+    }
+
+    /// Universal quantification (quantified encoding mode only).
+    pub fn forall(&mut self, bound: Vec<(String, Sort)>, body: TermId) -> TermId {
+        if bound.is_empty() {
+            return body;
+        }
+        self.mk(Op::Forall(bound), vec![body], Sort::Bool)
+    }
+
+    /// Substitutes, in `t`, every occurrence of variables named in `map` by
+    /// the associated term. Used for quantifier instantiation.
+    pub fn substitute(&mut self, t: TermId, map: &HashMap<String, TermId>) -> TermId {
+        let mut cache: HashMap<TermId, TermId> = HashMap::new();
+        self.subst_rec(t, map, &mut cache)
+    }
+
+    fn subst_rec(
+        &mut self,
+        t: TermId,
+        map: &HashMap<String, TermId>,
+        cache: &mut HashMap<TermId, TermId>,
+    ) -> TermId {
+        if let Some(&r) = cache.get(&t) {
+            return r;
+        }
+        let term = self.term(t).clone();
+        let result = match &term.op {
+            Op::Var(name) => {
+                if let Some(&r) = map.get(name) {
+                    r
+                } else {
+                    t
+                }
+            }
+            Op::Forall(bound) => {
+                // Do not substitute shadowed variables.
+                let mut inner = map.clone();
+                for (name, _) in bound {
+                    inner.remove(name);
+                }
+                let body = self.subst_rec(term.args[0], &inner, &mut HashMap::new());
+                self.mk(term.op.clone(), vec![body], term.sort.clone())
+            }
+            _ => {
+                let args: Vec<TermId> = term
+                    .args
+                    .iter()
+                    .map(|a| self.subst_rec(*a, map, cache))
+                    .collect();
+                if args == term.args {
+                    t
+                } else {
+                    self.mk(term.op.clone(), args, term.sort.clone())
+                }
+            }
+        };
+        cache.insert(t, result);
+        result
+    }
+
+    /// Collects the set of all sub-terms of `roots` (including the roots), in
+    /// no particular order.
+    pub fn subterms(&self, roots: &[TermId]) -> Vec<TermId> {
+        let mut seen = vec![false; self.terms.len()];
+        let mut stack: Vec<TermId> = roots.to_vec();
+        let mut out = Vec::new();
+        while let Some(t) = stack.pop() {
+            let idx = t.0 as usize;
+            if seen[idx] {
+                continue;
+            }
+            seen[idx] = true;
+            out.push(t);
+            stack.extend(self.term(t).args.iter().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Int);
+        let y = tm.var("y", Sort::Int);
+        assert_eq!(tm.add(x, y), tm.add(x, y));
+        assert_ne!(tm.add(x, y), tm.add(y, x));
+    }
+
+    #[test]
+    fn boolean_folding() {
+        let mut tm = TermManager::new();
+        let t = tm.tru();
+        let f = tm.fls();
+        let p = tm.var("p", Sort::Bool);
+        assert_eq!(tm.and(vec![t, p]), p);
+        assert_eq!(tm.and(vec![f, p]), f);
+        assert_eq!(tm.or(vec![f, p]), p);
+        assert_eq!(tm.or(vec![t, p]), t);
+        let np = tm.not(p);
+        assert_eq!(tm.not(np), p);
+    }
+
+    #[test]
+    fn eq_folding() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Loc);
+        assert_eq!(tm.eq(x, x), tm.tru());
+        let a = tm.int(1);
+        let b = tm.int(2);
+        assert_eq!(tm.eq(a, b), tm.fls());
+        let p = tm.var("p", Sort::Bool);
+        let q = tm.var("q", Sort::Bool);
+        let e = tm.eq(p, q);
+        assert_eq!(tm.term(e).op, Op::Iff);
+    }
+
+    #[test]
+    fn ite_folding() {
+        let mut tm = TermManager::new();
+        let c = tm.var("c", Sort::Bool);
+        let x = tm.var("x", Sort::Int);
+        let y = tm.var("y", Sort::Int);
+        let t = tm.tru();
+        assert_eq!(tm.ite(t, x, y), x);
+        assert_eq!(tm.ite(c, x, x), x);
+    }
+
+    #[test]
+    fn container_sorts() {
+        let mut tm = TermManager::new();
+        let loc_set = Sort::set_of(Sort::Loc);
+        let s = tm.var("s", loc_set.clone());
+        let x = tm.var("x", Sort::Loc);
+        let m = tm.member(x, s);
+        assert_eq!(tm.sort(m), &Sort::Bool);
+        let arr = tm.var("next", Sort::array_of(Sort::Loc, Sort::Loc));
+        let sel = tm.select(arr, x);
+        assert_eq!(tm.sort(sel), &Sort::Loc);
+        let st = tm.store(arr, x, x);
+        assert_eq!(tm.sort(st), tm.sort(arr));
+    }
+
+    #[test]
+    fn substitution() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Int);
+        let y = tm.var("y", Sort::Int);
+        let e = tm.add(x, y);
+        let mut map = HashMap::new();
+        let z = tm.var("z", Sort::Int);
+        map.insert("x".to_string(), z);
+        let e2 = tm.substitute(e, &map);
+        assert_eq!(e2, tm.add(z, y));
+    }
+
+    #[test]
+    fn subterms_collects_all() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Int);
+        let y = tm.var("y", Sort::Int);
+        let s = tm.add(x, y);
+        let l = tm.le(s, x);
+        let subs = tm.subterms(&[l]);
+        assert!(subs.contains(&x) && subs.contains(&y) && subs.contains(&s) && subs.contains(&l));
+    }
+}

@@ -1,0 +1,73 @@
+//! Deliberately broken method variants used by the negative tests: each one
+//! violates the fix-what-you-break discipline or simply fails to repair a
+//! monadic map, and the pipeline must reject it.
+
+/// Broken singly-linked list methods.
+pub const BUGGY_LIST_METHODS: &str = r#"
+// Forgets to repair the new head's length map: AssertLCAndRemove(z) must fail.
+procedure insert_front_forgets_length(x: Loc, k: Int) returns (r: Loc)
+  requires Br == {} && x != nil && x.prev == nil;
+  ensures Br == {} && r != nil;
+  modifies {x};
+{
+  InferLCOutsideBr(x);
+  var z: Loc;
+  NewObj(z);
+  Mut(z, key, k);
+  Mut(z, next, x);
+  Mut(z, prev, nil);
+  Mut(z, keys, union({k}, x.keys));
+  Mut(z, hslist, union({z}, x.hslist));
+  Mut(x, prev, z);
+  AssertLCAndRemove(z);
+  AssertLCAndRemove(x);
+  r := z;
+}
+
+// Mutates the head but never repairs anything: the broken set stays nonempty.
+procedure leaves_broken_set_nonempty(x: Loc) returns ()
+  requires Br == {} && x != nil;
+  ensures Br == {};
+  modifies {x};
+{
+  Mut(x, next, nil);
+}
+
+// Claims a postcondition about the keys that the code does not establish.
+procedure wrong_keys_postcondition(x: Loc, k: Int) returns ()
+  requires Br == {} && x != nil && x.next == nil && x.prev == nil;
+  ensures Br == {};
+  ensures x.keys == {k + 1};
+  modifies {x};
+{
+  InferLCOutsideBr(x);
+  Mut(x, key, k);
+  Mut(x, keys, {k});
+  AssertLCAndRemove(x);
+}
+"#;
+
+/// A method file that is *not well-behaved*: it bypasses the FWYB macros.
+pub const ILL_BEHAVED_METHODS: &str = r#"
+procedure raw_mutation(x: Loc, y: Loc) returns ()
+  requires Br == {};
+  ensures Br == {};
+{
+  x.next := y;
+  Br := {};
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lists::singly_linked_list;
+
+    #[test]
+    fn ill_behaved_file_is_flagged() {
+        let merged =
+            ids_core::pipeline::load_methods(&singly_linked_list(), ILL_BEHAVED_METHODS).unwrap();
+        let violations = ids_core::wellbehaved::check_program(&merged);
+        assert!(violations.len() >= 2);
+    }
+}

@@ -1,0 +1,232 @@
+//! `ids-structures` — the benchmark suite of intrinsically defined data
+//! structures and FWYB-annotated methods (the programs behind Table 2 of the
+//! paper).
+//!
+//! Each module exposes an [`IntrinsicDefinition`] (ghost monadic maps, local
+//! condition, correlation formula, impact table) together with a file of
+//! annotated methods in IVL surface syntax. [`all_benchmarks`] returns the
+//! registry that the benchmark harness (`ids-bench`) iterates over to
+//! regenerate the paper's tables and figures, and [`buggy`] contains
+//! deliberately broken variants used by the negative tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buggy;
+pub mod lists;
+pub mod overlaid;
+pub mod trees;
+
+use ids_core::IntrinsicDefinition;
+
+/// One benchmark: a data structure definition plus its annotated methods.
+pub struct Benchmark {
+    /// Data structure name (Table 2 first column).
+    pub name: &'static str,
+    /// The intrinsic definition.
+    pub definition: IntrinsicDefinition,
+    /// The IVL source of the annotated methods.
+    pub methods_src: &'static str,
+    /// The method names, in Table-2 order.
+    pub methods: Vec<String>,
+}
+
+fn benchmark(name: &'static str, definition: IntrinsicDefinition, src: &'static str) -> Benchmark {
+    let program = ids_ivl::parse_program(src).expect("benchmark methods parse");
+    let methods = program
+        .procedures
+        .iter()
+        .filter(|p| p.body.is_some())
+        .map(|p| p.name.clone())
+        .collect();
+    Benchmark {
+        name,
+        definition,
+        methods_src: src,
+        methods,
+    }
+}
+
+/// The full registry of benchmark structures, in the order of Table 2.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        benchmark(
+            "Singly-Linked List",
+            lists::singly_linked_list(),
+            lists::SINGLY_LINKED_LIST_METHODS,
+        ),
+        benchmark("Sorted List", lists::sorted_list(), lists::SORTED_LIST_METHODS),
+        benchmark(
+            "Sorted List (w. min, max)",
+            lists::sorted_list_minmax(),
+            lists::SORTED_LIST_MINMAX_METHODS,
+        ),
+        benchmark("Circular List", lists::circular_list(), lists::CIRCULAR_LIST_METHODS),
+        benchmark("Binary Search Tree", trees::bst(), trees::BST_METHODS),
+        benchmark("Treap", trees::treap(), trees::TREAP_METHODS),
+        benchmark("AVL Tree", trees::avl(), trees::AVL_METHODS),
+        benchmark("Red-Black Tree", trees::red_black(), trees::RED_BLACK_METHODS),
+        benchmark(
+            "BST+Scaffolding",
+            trees::bst_scaffolding(),
+            trees::BST_SCAFFOLDING_METHODS,
+        ),
+        benchmark(
+            "Scheduler Queue (overlaid SLL+BST)",
+            overlaid::scheduler_queue(),
+            overlaid::SCHEDULER_QUEUE_METHODS,
+        ),
+    ]
+}
+
+/// A fast subset of the registry (one small method per family) used by smoke
+/// tests and the quickstart example.
+pub fn quick_benchmarks() -> Vec<Benchmark> {
+    vec![
+        benchmark(
+            "Singly-Linked List",
+            lists::singly_linked_list(),
+            lists::SINGLY_LINKED_LIST_METHODS,
+        ),
+        benchmark("Binary Search Tree", trees::bst(), trees::BST_METHODS),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_core::pipeline::{verify_method, PipelineConfig};
+
+    #[test]
+    fn registry_covers_all_ten_structures() {
+        let benches = all_benchmarks();
+        assert_eq!(benches.len(), 10);
+        let total_methods: usize = benches.iter().map(|b| b.methods.len()).sum();
+        assert!(total_methods >= 20, "expected a substantial suite");
+        for b in &benches {
+            assert!(!b.methods.is_empty(), "{} has no methods", b.name);
+        }
+    }
+
+    #[test]
+    fn all_method_files_are_well_behaved_and_ghost_legal() {
+        for b in all_benchmarks() {
+            let merged = ids_core::pipeline::load_methods(&b.definition, b.methods_src)
+                .unwrap_or_else(|e| panic!("{}: {}", b.name, e));
+            let wb = ids_core::wellbehaved::check_program(&merged);
+            assert!(wb.is_empty(), "{}: {:?}", b.name, wb);
+            let gh = ids_core::ghost::check_ghost_legality(&merged);
+            assert!(gh.is_empty(), "{}: {:?}", b.name, gh);
+        }
+    }
+
+    #[test]
+    fn singly_linked_list_insert_front_verifies() {
+        let report = verify_method(
+            &lists::singly_linked_list(),
+            lists::SINGLY_LINKED_LIST_METHODS,
+            "insert_front",
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+    }
+
+    #[test]
+    fn singly_linked_list_delete_front_verifies() {
+        let report = verify_method(
+            &lists::singly_linked_list(),
+            lists::SINGLY_LINKED_LIST_METHODS,
+            "delete_front",
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+    }
+
+    #[test]
+    fn singly_linked_list_set_key_verifies() {
+        let report = verify_method(
+            &lists::singly_linked_list(),
+            lists::SINGLY_LINKED_LIST_METHODS,
+            "set_key",
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+    }
+
+    #[test]
+    fn bst_find_min_verifies() {
+        let report = verify_method(
+            &trees::bst(),
+            trees::BST_METHODS,
+            "bst_find_min",
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+    }
+
+    #[test]
+    fn circular_list_methods_verify() {
+        for m in ["rotate_entry", "set_node_key"] {
+            let report = verify_method(
+                &lists::circular_list(),
+                lists::CIRCULAR_LIST_METHODS,
+                m,
+                PipelineConfig::default(),
+            )
+            .unwrap();
+            assert!(report.outcome.is_verified(), "{}: {:?}", m, report.outcome);
+        }
+    }
+
+    #[test]
+    fn scheduler_queue_peek_verifies_with_two_broken_sets() {
+        let report = verify_method(
+            &overlaid::scheduler_queue(),
+            overlaid::SCHEDULER_QUEUE_METHODS,
+            "peek_request",
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+    }
+
+    #[test]
+    fn buggy_variants_are_rejected() {
+        let report = verify_method(
+            &lists::singly_linked_list(),
+            buggy::BUGGY_LIST_METHODS,
+            "insert_front_forgets_length",
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.outcome.is_verified());
+
+        let report = verify_method(
+            &lists::singly_linked_list(),
+            buggy::BUGGY_LIST_METHODS,
+            "leaves_broken_set_nonempty",
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.outcome.is_verified());
+    }
+
+    #[test]
+    fn singly_linked_list_impact_table_is_correct() {
+        let results = ids_core::impact::check_impact_sets(
+            &lists::singly_linked_list(),
+            ids_vcgen_encoding(),
+        );
+        for r in &results {
+            assert!(r.is_correct(), "impact set for '{}' rejected", r.field);
+        }
+    }
+
+    fn ids_vcgen_encoding() -> ids_vcgen::Encoding {
+        ids_vcgen::Encoding::Decidable
+    }
+}

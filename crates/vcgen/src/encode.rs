@@ -1,0 +1,283 @@
+//! Encoding of IVL expressions into SMT terms over the heap-as-maps model.
+
+use std::collections::HashMap;
+
+use ids_ivl::{BinOp, Expr, Program, Type, UnOp};
+use ids_smt::{Rat, Sort, TermId, TermManager};
+
+use crate::VcError;
+
+/// Maps an IVL type to an SMT sort.
+pub fn sort_of_type(t: Type) -> Sort {
+    match t {
+        Type::Bool => Sort::Bool,
+        Type::Int => Sort::Int,
+        Type::Real => Sort::Real,
+        Type::Loc => Sort::Loc,
+        Type::SetLoc => Sort::set_of(Sort::Loc),
+        Type::SetInt => Sort::set_of(Sort::Int),
+    }
+}
+
+/// The default value stored in a freshly allocated object's field.
+pub fn default_value(tm: &mut TermManager, t: Type) -> TermId {
+    match t {
+        Type::Bool => tm.fls(),
+        Type::Int => tm.int(0),
+        Type::Real => tm.real(Rat::ZERO),
+        Type::Loc => tm.var("nil", Sort::Loc),
+        Type::SetLoc => tm.empty_set(Sort::Loc),
+        Type::SetInt => tm.empty_set(Sort::Int),
+    }
+}
+
+/// A symbolic state: the current SMT term for every program variable and for
+/// every field map.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    /// Program variables (including the implicit ghost sets `Br`, `Alloc`).
+    pub vars: HashMap<String, TermId>,
+    /// Field maps, keyed by field name.
+    pub fields: HashMap<String, TermId>,
+}
+
+/// Encodes an expression in the given state.
+///
+/// `old_env` is the state `old(..)` refers to. Side assumptions produced by
+/// the allocation-set modelling of Appendix A.3 (dereferenced locations are
+/// allocated) are appended to `side`.
+pub fn encode_expr(
+    tm: &mut TermManager,
+    program: &Program,
+    env: &Env,
+    old_env: &Env,
+    e: &Expr,
+    side: &mut Vec<TermId>,
+) -> Result<TermId, VcError> {
+    enc(tm, program, env, old_env, e, side)
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, VcError> {
+    Err(VcError::Encoding(msg.into()))
+}
+
+fn enc(
+    tm: &mut TermManager,
+    program: &Program,
+    env: &Env,
+    old_env: &Env,
+    e: &Expr,
+    side: &mut Vec<TermId>,
+) -> Result<TermId, VcError> {
+    match e {
+        Expr::BoolLit(true) => Ok(tm.tru()),
+        Expr::BoolLit(false) => Ok(tm.fls()),
+        Expr::IntLit(n) => Ok(tm.int(*n)),
+        Expr::RealLit(n, d) => Ok(tm.real(Rat::new(*n, *d))),
+        Expr::Nil => Ok(tm.var("nil", Sort::Loc)),
+        Expr::EmptySet(Type::SetInt) => Ok(tm.empty_set(Sort::Int)),
+        Expr::EmptySet(_) => Ok(tm.empty_set(Sort::Loc)),
+        Expr::Var(name) => env
+            .vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| VcError::Encoding(format!("unbound variable '{}'", name))),
+        Expr::Field(obj, field) => {
+            let o = enc(tm, program, env, old_env, obj, side)?;
+            let decl = program
+                .field(field)
+                .ok_or_else(|| VcError::Encoding(format!("unknown field '{}'", field)))?;
+            let map = env
+                .fields
+                .get(field)
+                .copied()
+                .ok_or_else(|| VcError::Encoding(format!("field map '{}' missing", field)))?;
+            let sel = tm.select(map, o);
+            // Appendix A.3: dereferenced location-valued (or set-of-location
+            // valued) fields stay inside the allocation set.
+            if let Some(&alloc) = env.vars.get("Alloc") {
+                match decl.ty {
+                    Type::Loc => {
+                        let nil = tm.var("nil", Sort::Loc);
+                        let is_nil = tm.eq(sel, nil);
+                        let in_alloc = tm.member(sel, alloc);
+                        let a = tm.or2(is_nil, in_alloc);
+                        side.push(a);
+                    }
+                    Type::SetLoc => {
+                        let a = tm.subset(sel, alloc);
+                        side.push(a);
+                    }
+                    _ => {}
+                }
+            }
+            Ok(sel)
+        }
+        Expr::Old(inner) => enc(tm, program, old_env, old_env, inner, side),
+        Expr::Unary(UnOp::Not, inner) => {
+            let i = enc(tm, program, env, old_env, inner, side)?;
+            Ok(tm.not(i))
+        }
+        Expr::Unary(UnOp::Neg, inner) => {
+            let i = enc(tm, program, env, old_env, inner, side)?;
+            Ok(tm.neg(i))
+        }
+        Expr::Binary(op, a, b) => {
+            // The polymorphic empty set `{}` adapts its element sort to the
+            // other operand.
+            let (ea, eb) = coerce_empty(a, b);
+            let ta = enc(tm, program, env, old_env, &ea, side)?;
+            let tb = enc(tm, program, env, old_env, &eb, side)?;
+            match op {
+                BinOp::Add => Ok(tm.add(ta, tb)),
+                BinOp::Sub => Ok(tm.sub(ta, tb)),
+                BinOp::Div => match &**b {
+                    Expr::IntLit(n) if *n != 0 => Ok(tm.mul_const(Rat::new(1, *n), ta)),
+                    _ => err("division must be by a non-zero integer literal"),
+                },
+                BinOp::And => Ok(tm.and2(ta, tb)),
+                BinOp::Or => Ok(tm.or2(ta, tb)),
+                BinOp::Implies => Ok(tm.implies(ta, tb)),
+                BinOp::Iff => Ok(tm.iff(ta, tb)),
+                BinOp::Eq => Ok(tm.eq(ta, tb)),
+                BinOp::Ne => Ok(tm.neq(ta, tb)),
+                BinOp::Lt => Ok(tm.lt(ta, tb)),
+                BinOp::Le => Ok(tm.le(ta, tb)),
+                BinOp::Gt => Ok(tm.gt(ta, tb)),
+                BinOp::Ge => Ok(tm.ge(ta, tb)),
+                BinOp::Union => Ok(tm.union(ta, tb)),
+                BinOp::Inter => Ok(tm.inter(ta, tb)),
+                BinOp::Diff => Ok(tm.diff(ta, tb)),
+                BinOp::Member => Ok(tm.member(ta, tb)),
+                BinOp::Subset => Ok(tm.subset(ta, tb)),
+            }
+        }
+        Expr::Ite(c, t, f) => {
+            let ec = enc(tm, program, env, old_env, c, side)?;
+            let et = enc(tm, program, env, old_env, t, side)?;
+            let ef = enc(tm, program, env, old_env, f, side)?;
+            Ok(tm.ite(ec, et, ef))
+        }
+        Expr::Singleton(inner) => {
+            let i = enc(tm, program, env, old_env, inner, side)?;
+            Ok(tm.singleton(i))
+        }
+        Expr::App(name, args) => {
+            let mut ts = Vec::new();
+            for a in args {
+                ts.push(enc(tm, program, env, old_env, a, side)?);
+            }
+            Ok(tm.app(name, ts, Sort::Bool))
+        }
+    }
+}
+
+/// If exactly one of the two operands is the polymorphic empty-set literal and
+/// the other is (syntactically) of a known integer-set type, rewrite the empty
+/// set literal to the matching element sort. This keeps the SMT encoding
+/// well-sorted without burdening the surface programs.
+fn coerce_empty(a: &Expr, b: &Expr) -> (Expr, Expr) {
+    fn is_int_setish(e: &Expr) -> bool {
+        match e {
+            Expr::Singleton(inner) => matches!(**inner, Expr::IntLit(_)),
+            Expr::EmptySet(Type::SetInt) => true,
+            Expr::Field(_, name) => name.contains("keys"),
+            Expr::Binary(BinOp::Union | BinOp::Inter | BinOp::Diff, x, y) => {
+                is_int_setish(x) || is_int_setish(y)
+            }
+            Expr::Old(inner) => is_int_setish(inner),
+            _ => false,
+        }
+    }
+    let mut ea = a.clone();
+    let mut eb = b.clone();
+    if matches!(ea, Expr::EmptySet(_)) && is_int_setish(b) {
+        ea = Expr::EmptySet(Type::SetInt);
+    }
+    if matches!(eb, Expr::EmptySet(_)) && is_int_setish(a) {
+        eb = Expr::EmptySet(Type::SetInt);
+    }
+    (ea, eb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_ivl::parse_expr;
+
+    fn setup() -> (TermManager, Program, Env) {
+        let program = ids_ivl::parse_program(
+            r#"
+            field next: Loc;
+            field key: Int;
+            field ghost keys: Set<Int>;
+            field ghost hslist: Set<Loc>;
+            procedure dummy(x: Loc);
+            "#,
+        )
+        .unwrap();
+        let mut tm = TermManager::new();
+        let mut env = Env::default();
+        let x = tm.var("x", Sort::Loc);
+        env.vars.insert("x".into(), x);
+        let alloc = tm.var("Alloc", Sort::set_of(Sort::Loc));
+        env.vars.insert("Alloc".into(), alloc);
+        for f in &program.fields {
+            let sort = Sort::array_of(Sort::Loc, sort_of_type(f.ty));
+            let m = tm.var(&format!("fld_{}", f.name), sort);
+            env.fields.insert(f.name.clone(), m);
+        }
+        (tm, program, env)
+    }
+
+    #[test]
+    fn encodes_field_chain() {
+        let (mut tm, program, env) = setup();
+        let e = parse_expr("x.next.key").unwrap();
+        let mut side = Vec::new();
+        let t = encode_expr(&mut tm, &program, &env, &env, &e, &mut side).unwrap();
+        assert_eq!(tm.sort(t), &Sort::Int);
+        // The dereference of the Loc-valued field produced an allocation-set
+        // side assumption.
+        assert!(!side.is_empty());
+    }
+
+    #[test]
+    fn encodes_set_expression() {
+        let (mut tm, program, env) = setup();
+        let e = parse_expr("x.hslist == union({x}, x.next.hslist)").unwrap();
+        let mut side = Vec::new();
+        let t = encode_expr(&mut tm, &program, &env, &env, &e, &mut side).unwrap();
+        assert_eq!(tm.sort(t), &Sort::Bool);
+    }
+
+    #[test]
+    fn empty_set_coerces_to_int_sets() {
+        let (mut tm, program, env) = setup();
+        let e = parse_expr("x.keys == {}").unwrap();
+        let mut side = Vec::new();
+        let t = encode_expr(&mut tm, &program, &env, &env, &e, &mut side).unwrap();
+        // Both sides must have the Set<Int> sort under the hood.
+        let term = tm.term(t).clone();
+        let rhs = term.args[1];
+        assert_eq!(tm.sort(rhs), &Sort::set_of(Sort::Int));
+    }
+
+    #[test]
+    fn unknown_variable_is_reported() {
+        let (mut tm, program, env) = setup();
+        let e = parse_expr("y.key").unwrap();
+        let mut side = Vec::new();
+        assert!(encode_expr(&mut tm, &program, &env, &env, &e, &mut side).is_err());
+    }
+
+    #[test]
+    fn division_by_literal_only() {
+        let (mut tm, program, env) = setup();
+        let ok = parse_expr("(x.key + 1) / 2").unwrap();
+        let mut side = Vec::new();
+        assert!(encode_expr(&mut tm, &program, &env, &env, &ok, &mut side).is_ok());
+        let bad = parse_expr("x.key / x.key").unwrap();
+        assert!(encode_expr(&mut tm, &program, &env, &env, &bad, &mut side).is_err());
+    }
+}

@@ -1,0 +1,505 @@
+//! `ids-vcgen` — verification-condition generation for the IVL.
+//!
+//! This crate plays the role Boogie's VC generator plays in the paper: it
+//! turns an (FWYB-expanded) IVL procedure into a set of logical validity
+//! queries over the theories supported by [`ids_smt`].
+//!
+//! The heap is modelled exactly as described in §3.7 / Appendix A.3 of the
+//! paper:
+//!
+//! * every field and ghost monadic map `f` becomes a map variable
+//!   `Array(Loc, T)`; reads are `select`, writes are `store`;
+//! * allocation is modelled with a ghost set `Alloc`: fresh objects are
+//!   assumed outside `Alloc` (and `!= nil`), then added; reachable locations
+//!   are assumed inside `Alloc`;
+//! * heap change across procedure calls is framed with the callee's
+//!   `modifies` set. In the **decidable encoding** the new map is the
+//!   pointwise update `MapIte(mod, havoc, old)` (a parameterized map update of
+//!   the generalized array theory); in the **quantified encoding** (used only
+//!   to reproduce the paper's RQ3 comparison against Dafny) the frame is a
+//!   universally quantified formula.
+//!
+//! Loops are cut at invariants, calls are replaced by their contracts, and
+//! the body is symbolically executed with if-join merging (`ite` on the
+//! changed state), producing **one verification condition per `assert`** — the
+//! same "split on every assert" discipline the paper uses (max-VC-splits in
+//! Boogie).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod engine;
+pub mod qfcheck;
+
+use ids_ivl::Program;
+use ids_smt::{SatResult, Solver, SolverConfig, TermId, TermManager};
+
+pub use encode::sort_of_type;
+pub use qfcheck::{theory_profile, TheoryProfile};
+
+/// How frame conditions and allocation are encoded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Encoding {
+    /// Quantifier-free encoding via parameterized (pointwise) map updates —
+    /// the decidable encoding the paper advocates.
+    #[default]
+    Decidable,
+    /// Dafny-style encoding with universally quantified frame axioms — used
+    /// only for the RQ3 performance comparison.
+    Quantified,
+}
+
+/// One verification condition: a formula that must be *valid*.
+#[derive(Clone, Debug)]
+pub struct Vc {
+    /// Human-readable description (which assert, which line of the pipeline).
+    pub description: String,
+    /// The formula to prove valid.
+    pub formula: TermId,
+}
+
+/// Errors during VC generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VcError {
+    /// The procedure does not exist in the program.
+    UnknownProcedure(String),
+    /// The procedure has no body (nothing to verify).
+    NoBody(String),
+    /// A FWYB macro statement was not expanded before VC generation.
+    UnexpandedMacro(String),
+    /// An expression could not be encoded.
+    Encoding(String),
+}
+
+impl std::fmt::Display for VcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VcError::UnknownProcedure(p) => write!(f, "unknown procedure '{}'", p),
+            VcError::NoBody(p) => write!(f, "procedure '{}' has no body", p),
+            VcError::UnexpandedMacro(m) => {
+                write!(f, "macro '{}' must be expanded before VC generation", m)
+            }
+            VcError::Encoding(msg) => write!(f, "encoding error: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for VcError {}
+
+/// The outcome of running the solver over a procedure's VCs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// All verification conditions are valid.
+    Verified {
+        /// Number of VCs discharged.
+        vcs: usize,
+    },
+    /// Some verification condition has a counterexample.
+    Refuted {
+        /// Description of the first failing VC.
+        failed: String,
+    },
+    /// The solver could not decide some VC (should not happen in the
+    /// decidable encoding).
+    Unknown {
+        /// Description of the first undecided VC.
+        undecided: String,
+    },
+}
+
+impl VerifyOutcome {
+    /// True if the outcome is [`VerifyOutcome::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, VerifyOutcome::Verified { .. })
+    }
+}
+
+/// The VC generator facade.
+///
+/// # Example
+/// ```
+/// use ids_ivl::parse_program;
+/// use ids_vcgen::{VcGen, Encoding};
+/// use ids_smt::TermManager;
+///
+/// let program = parse_program(r#"
+///     field key: Int;
+///     procedure bump(x: Loc)
+///       requires x != nil;
+///       ensures x.key == old(x.key) + 1;
+///     {
+///       x.key := x.key + 1;
+///     }
+/// "#).unwrap();
+/// let mut tm = TermManager::new();
+/// let vcgen = VcGen::new(&program, Encoding::Decidable);
+/// let vcs = vcgen.vcs_for(&mut tm, "bump").unwrap();
+/// assert!(!vcs.is_empty());
+/// ```
+pub struct VcGen<'a> {
+    program: &'a Program,
+    encoding: Encoding,
+}
+
+impl<'a> VcGen<'a> {
+    /// Creates a generator for the given program and encoding mode.
+    pub fn new(program: &'a Program, encoding: Encoding) -> VcGen<'a> {
+        VcGen { program, encoding }
+    }
+
+    /// The program this generator works on.
+    pub fn program(&self) -> &Program {
+        self.program
+    }
+
+    /// The encoding mode.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Generates the verification conditions of the named procedure.
+    pub fn vcs_for(&self, tm: &mut TermManager, proc_name: &str) -> Result<Vec<Vc>, VcError> {
+        let proc = self
+            .program
+            .procedure(proc_name)
+            .ok_or_else(|| VcError::UnknownProcedure(proc_name.to_string()))?;
+        if proc.body.is_none() {
+            return Err(VcError::NoBody(proc_name.to_string()));
+        }
+        engine::generate(tm, self.program, proc, self.encoding)
+    }
+
+    /// Generates and discharges the VCs of a procedure with the SMT solver.
+    ///
+    /// Returns the outcome together with the number of solver calls. VCs are
+    /// checked in order; the first refuted/undecided VC stops the run.
+    pub fn verify(
+        &self,
+        tm: &mut TermManager,
+        proc_name: &str,
+    ) -> Result<VerifyOutcome, VcError> {
+        let vcs = self.vcs_for(tm, proc_name)?;
+        let config = match self.encoding {
+            Encoding::Decidable => SolverConfig::default(),
+            Encoding::Quantified => SolverConfig::quantified(),
+        };
+        let debug = std::env::var("IDS_VC_DEBUG").is_ok();
+        for vc in &vcs {
+            let mut solver = Solver::with_config(config);
+            let start = std::time::Instant::now();
+            let result = solver.check_valid(tm, vc.formula);
+            if debug {
+                let s = solver.stats();
+                eprintln!(
+                    "[vc] {:>8.3}s sat={:.3}s theory={:.3}s rounds={} atoms={} clauses={} conflicts={} decisions={} :: {}",
+                    start.elapsed().as_secs_f64(),
+                    s.sat_time.as_secs_f64(),
+                    s.theory_time.as_secs_f64(),
+                    s.theory_rounds,
+                    s.atoms,
+                    s.initial_clauses,
+                    s.sat_conflicts,
+                    s.sat_decisions,
+                    vc.description
+                );
+            }
+            match result {
+                SatResult::Sat => {}
+                SatResult::Unsat => {
+                    return Ok(VerifyOutcome::Refuted {
+                        failed: vc.description.clone(),
+                    })
+                }
+                SatResult::Unknown => {
+                    return Ok(VerifyOutcome::Unknown {
+                        undecided: vc.description.clone(),
+                    })
+                }
+            }
+        }
+        Ok(VerifyOutcome::Verified { vcs: vcs.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_ivl::parse_program;
+
+    fn verify_src(src: &str, proc: &str) -> VerifyOutcome {
+        let program = parse_program(src).unwrap();
+        ids_ivl::check_program(&program).unwrap();
+        let mut tm = TermManager::new();
+        VcGen::new(&program, Encoding::Decidable)
+            .verify(&mut tm, proc)
+            .unwrap()
+    }
+
+    #[test]
+    fn straight_line_field_update() {
+        let out = verify_src(
+            r#"
+            field key: Int;
+            procedure bump(x: Loc)
+              requires x != nil;
+              ensures x.key == old(x.key) + 1;
+            {
+              x.key := x.key + 1;
+            }
+            "#,
+            "bump",
+        );
+        assert!(out.is_verified(), "{:?}", out);
+    }
+
+    #[test]
+    fn wrong_postcondition_is_refuted() {
+        let out = verify_src(
+            r#"
+            field key: Int;
+            procedure bump(x: Loc)
+              requires x != nil;
+              ensures x.key == old(x.key) + 2;
+            {
+              x.key := x.key + 1;
+            }
+            "#,
+            "bump",
+        );
+        assert!(matches!(out, VerifyOutcome::Refuted { .. }), "{:?}", out);
+    }
+
+    #[test]
+    fn aliasing_is_respected() {
+        // Writing through y must be visible through x when x == y.
+        let out = verify_src(
+            r#"
+            field key: Int;
+            procedure alias(x: Loc, y: Loc)
+              requires x == y;
+              ensures x.key == 5;
+            {
+              y.key := 5;
+            }
+            "#,
+            "alias",
+        );
+        assert!(out.is_verified(), "{:?}", out);
+
+        let out = verify_src(
+            r#"
+            field key: Int;
+            procedure alias2(x: Loc, y: Loc)
+              ensures x.key == 5;
+            {
+              y.key := 5;
+            }
+            "#,
+            "alias2",
+        );
+        assert!(matches!(out, VerifyOutcome::Refuted { .. }), "{:?}", out);
+    }
+
+    #[test]
+    fn branches_merge() {
+        let out = verify_src(
+            r#"
+            field key: Int;
+            procedure maxsel(x: Loc, y: Loc) returns (r: Loc)
+              requires x != nil && y != nil;
+              ensures r.key >= x.key && r.key >= y.key;
+            {
+              if (x.key >= y.key) {
+                r := x;
+              } else {
+                r := y;
+              }
+            }
+            "#,
+            "maxsel",
+        );
+        assert!(out.is_verified(), "{:?}", out);
+    }
+
+    #[test]
+    fn assert_failure_detected() {
+        let out = verify_src(
+            r#"
+            field key: Int;
+            procedure bad(x: Loc)
+            {
+              assert x.key > 0;
+            }
+            "#,
+            "bad",
+        );
+        assert!(matches!(out, VerifyOutcome::Refuted { .. }));
+    }
+
+    #[test]
+    fn loop_with_invariant() {
+        let out = verify_src(
+            r#"
+            field next: Loc;
+            procedure count(n: Int) returns (i: Int)
+              requires n >= 0;
+              ensures i == n;
+            {
+              i := 0;
+              while (i < n)
+                invariant i <= n;
+              {
+                i := i + 1;
+              }
+            }
+            "#,
+            "count",
+        );
+        assert!(out.is_verified(), "{:?}", out);
+    }
+
+    #[test]
+    fn loop_invariant_entry_violation_detected() {
+        let out = verify_src(
+            r#"
+            field next: Loc;
+            procedure bad_loop(n: Int) returns (i: Int)
+            {
+              i := 1;
+              while (i < n)
+                invariant i == 0;
+              {
+                i := i + 1;
+              }
+            }
+            "#,
+            "bad_loop",
+        );
+        assert!(matches!(out, VerifyOutcome::Refuted { .. }));
+    }
+
+    #[test]
+    fn allocation_is_fresh() {
+        let out = verify_src(
+            r#"
+            field next: Loc;
+            procedure fresh_alloc(x: Loc) returns (y: Loc)
+              requires x != nil;
+              ensures y != x && y != nil;
+            {
+              y := new();
+            }
+            "#,
+            "fresh_alloc",
+        );
+        assert!(out.is_verified(), "{:?}", out);
+    }
+
+    #[test]
+    fn call_uses_contract_and_frame() {
+        let src = r#"
+            field key: Int;
+            field ghost hs: Set<Loc>;
+
+            procedure set_to_five(a: Loc)
+              requires a != nil;
+              ensures a.key == 5;
+              modifies {a};
+
+            procedure caller(x: Loc, y: Loc) returns ()
+              requires x != nil && y != nil && x != y && y.key == 7;
+              ensures x.key == 5 && y.key == 7;
+            {
+              call set_to_five(x);
+            }
+        "#;
+        let out = verify_src(src, "caller");
+        assert!(out.is_verified(), "{:?}", out);
+    }
+
+    #[test]
+    fn call_frame_violation_detected() {
+        // Without x != y the frame cannot preserve y.key.
+        let src = r#"
+            field key: Int;
+
+            procedure set_to_five(a: Loc)
+              requires a != nil;
+              ensures a.key == 5;
+              modifies {a};
+
+            procedure caller(x: Loc, y: Loc) returns ()
+              requires x != nil && y != nil && y.key == 7;
+              ensures y.key == 7;
+            {
+              call set_to_five(x);
+            }
+        "#;
+        let out = verify_src(src, "caller");
+        assert!(matches!(out, VerifyOutcome::Refuted { .. }), "{:?}", out);
+    }
+
+    #[test]
+    fn quantified_encoding_also_verifies() {
+        let src = r#"
+            field key: Int;
+
+            procedure set_to_five(a: Loc)
+              requires a != nil;
+              ensures a.key == 5;
+              modifies {a};
+
+            procedure caller(x: Loc, y: Loc) returns ()
+              requires x != nil && y != nil && x != y && y.key == 7;
+              ensures x.key == 5 && y.key == 7;
+            {
+              call set_to_five(x);
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let mut tm = TermManager::new();
+        let out = VcGen::new(&program, Encoding::Quantified)
+            .verify(&mut tm, "caller")
+            .unwrap();
+        assert!(out.is_verified(), "{:?}", out);
+    }
+
+    #[test]
+    fn set_ghost_state_reasoning() {
+        let out = verify_src(
+            r#"
+            field ghost keys: Set<Int>;
+            procedure add_key(x: Loc, k: Int)
+              requires x != nil;
+              ensures x.keys == union(old(x.keys), {k});
+              ensures k in x.keys;
+            {
+              x.keys := union(x.keys, {k});
+            }
+            "#,
+            "add_key",
+        );
+        assert!(out.is_verified(), "{:?}", out);
+    }
+
+    #[test]
+    fn return_in_middle_checks_post() {
+        let out = verify_src(
+            r#"
+            field key: Int;
+            procedure early(x: Loc, b: Int) returns (r: Int)
+              ensures r >= 0;
+            {
+              if (b > 0) {
+                r := b;
+                return;
+              }
+              r := 0 - b;
+            }
+            "#,
+            "early",
+        );
+        assert!(out.is_verified(), "{:?}", out);
+    }
+}

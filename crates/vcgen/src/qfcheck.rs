@@ -1,0 +1,98 @@
+//! Cross-checks on generated verification conditions.
+//!
+//! The paper (§5.1) cross-checks that the SMT queries Boogie emits for the
+//! FWYB benchmarks are quantifier-free and stay inside decidable theories.
+//! This module reproduces that check for our own VCs.
+
+use ids_smt::{Op, TermId, TermManager};
+
+/// Which theory features a set of verification conditions uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TheoryProfile {
+    /// Contains a universal quantifier.
+    pub quantifiers: bool,
+    /// Uses uninterpreted functions / field maps.
+    pub uninterpreted: bool,
+    /// Uses linear integer/rational arithmetic.
+    pub arithmetic: bool,
+    /// Uses array `store`/`select`.
+    pub arrays: bool,
+    /// Uses parameterized (pointwise) map updates.
+    pub pointwise_updates: bool,
+    /// Uses finite sets.
+    pub sets: bool,
+}
+
+impl TheoryProfile {
+    /// True if the profile is inside the decidable quantifier-free fragment
+    /// used by the FWYB methodology.
+    pub fn is_decidable_fragment(&self) -> bool {
+        !self.quantifiers
+    }
+}
+
+/// Computes the theory profile of a set of formulas.
+pub fn theory_profile(tm: &TermManager, roots: &[TermId]) -> TheoryProfile {
+    let mut p = TheoryProfile::default();
+    for t in tm.subterms(roots) {
+        match &tm.term(t).op {
+            Op::Forall(_) => p.quantifiers = true,
+            Op::App(_) => p.uninterpreted = true,
+            Op::Add | Op::Sub | Op::Neg | Op::MulConst(_) | Op::Le | Op::Lt => {
+                p.arithmetic = true
+            }
+            Op::Select | Op::Store => p.arrays = true,
+            Op::MapIte => p.pointwise_updates = true,
+            Op::Union | Op::Inter | Op::Diff | Op::Member | Op::Subset | Op::Singleton
+            | Op::EmptySet(_) => p.sets = true,
+            _ => {}
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Encoding, VcGen};
+    use ids_ivl::parse_program;
+    use ids_smt::TermManager;
+
+    #[test]
+    fn profiles_distinguish_encodings() {
+        let program = parse_program(
+            r#"
+            field key: Int;
+            procedure callee(a: Loc)
+              ensures a.key == 1;
+              modifies {a};
+            procedure m(x: Loc)
+              requires x != nil;
+              ensures x.key == 1;
+            {
+              call callee(x);
+            }
+            "#,
+        )
+        .unwrap();
+        let mut tm = TermManager::new();
+        let dec: Vec<_> = VcGen::new(&program, Encoding::Decidable)
+            .vcs_for(&mut tm, "m")
+            .unwrap()
+            .iter()
+            .map(|v| v.formula)
+            .collect();
+        let pd = theory_profile(&tm, &dec);
+        assert!(pd.is_decidable_fragment());
+        assert!(pd.arrays && pd.pointwise_updates);
+
+        let quant: Vec<_> = VcGen::new(&program, Encoding::Quantified)
+            .vcs_for(&mut tm, "m")
+            .unwrap()
+            .iter()
+            .map(|v| v.formula)
+            .collect();
+        let pq = theory_profile(&tm, &quant);
+        assert!(!pq.is_decidable_fragment());
+    }
+}

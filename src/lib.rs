@@ -1,0 +1,25 @@
+//! `intrinsic-verify` — umbrella crate of the reproduction of *Predictable
+//! Verification using Intrinsic Definitions* (PLDI 2024).
+//!
+//! This crate re-exports the workspace members so that the examples and
+//! integration tests at the repository root can exercise the whole pipeline
+//! through a single dependency:
+//!
+//! * [`smt`] — quantifier-free SMT solver (EUF + linear arithmetic + sets +
+//!   arrays with pointwise updates),
+//! * [`ivl`] — the Boogie-like intermediate verification language,
+//! * [`vcgen`] — heap modelling and verification-condition generation,
+//! * [`core`] — intrinsic definitions and the fix-what-you-break methodology
+//!   (the paper's contribution),
+//! * [`heap`] — concrete operational semantics and runtime checking,
+//! * [`structures`] — the benchmark suite of intrinsically defined data
+//!   structures (Table 2 of the paper).
+
+#![forbid(unsafe_code)]
+
+pub use ids_core as core;
+pub use ids_heap as heap;
+pub use ids_ivl as ivl;
+pub use ids_smt as smt;
+pub use ids_structures as structures;
+pub use ids_vcgen as vcgen;

@@ -1,0 +1,61 @@
+//! Integration tests over the shipped benchmark suite (`ids-structures`):
+//! the registry is complete, the method files obey the FWYB discipline, and a
+//! representative method per family verifies end to end.
+
+use intrinsic_verify::core::pipeline::{load_methods, verify_method_in, PipelineConfig};
+use intrinsic_verify::structures::{all_benchmarks, lists, trees};
+
+#[test]
+fn registry_matches_the_papers_structure_list() {
+    let names: Vec<String> = all_benchmarks().iter().map(|b| b.name.to_string()).collect();
+    for expected in [
+        "Singly-Linked List",
+        "Sorted List",
+        "Sorted List (w. min, max)",
+        "Circular List",
+        "Binary Search Tree",
+        "Treap",
+        "AVL Tree",
+        "Red-Black Tree",
+        "BST+Scaffolding",
+        "Scheduler Queue (overlaid SLL+BST)",
+    ] {
+        assert!(names.iter().any(|n| n == expected), "missing {}", expected);
+    }
+}
+
+#[test]
+fn every_definition_declares_impact_sets_for_every_field() {
+    for b in all_benchmarks() {
+        let impact_fields: Vec<&String> = b.definition.impact_sets.keys().collect();
+        assert!(
+            !impact_fields.is_empty(),
+            "{} declares no impact sets",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn representative_methods_verify() {
+    let cases = [
+        (
+            lists::singly_linked_list(),
+            lists::SINGLY_LINKED_LIST_METHODS,
+            "set_key",
+        ),
+        (trees::treap(), trees::TREAP_METHODS, "treap_raise_root_priority"),
+        (trees::bst_scaffolding(), trees::BST_SCAFFOLDING_METHODS, "scaffolding_of"),
+    ];
+    for (ids, src, method) in cases {
+        let merged = load_methods(&ids, src).unwrap();
+        let report =
+            verify_method_in(&ids, &merged, method, PipelineConfig::default()).unwrap();
+        assert!(
+            report.outcome.is_verified(),
+            "{} failed: {:?}",
+            method,
+            report.outcome
+        );
+    }
+}
