@@ -34,7 +34,11 @@ fn vcs_of(method: &str) -> (TermManager, Vec<ids_smt::TermId>) {
 fn check_all_valid(tm: &mut TermManager, formulas: &[ids_smt::TermId], config: SolverConfig) {
     for &f in formulas {
         let mut solver = Solver::with_config(config);
-        assert_eq!(solver.check_valid(tm, f), SatResult::Sat, "VC must be valid");
+        assert_eq!(
+            solver.check_valid(tm, f),
+            SatResult::Sat,
+            "VC must be valid"
+        );
     }
 }
 
@@ -78,5 +82,9 @@ fn split_vs_monolithic_vcs(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, incremental_vs_restarting_sat, split_vs_monolithic_vcs);
+criterion_group!(
+    benches,
+    incremental_vs_restarting_sat,
+    split_vs_monolithic_vcs
+);
 criterion_main!(benches);

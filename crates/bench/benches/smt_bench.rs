@@ -35,7 +35,9 @@ fn store_chain(depth: usize) -> (TermManager, Vec<ids_smt::TermId>) {
 fn euf_chain(n: usize) -> (TermManager, Vec<ids_smt::TermId>) {
     let mut tm = TermManager::new();
     let mut asserts = Vec::new();
-    let xs: Vec<_> = (0..n).map(|i| tm.var(&format!("a{}", i), Sort::Loc)).collect();
+    let xs: Vec<_> = (0..n)
+        .map(|i| tm.var(&format!("a{}", i), Sort::Loc))
+        .collect();
     for w in xs.windows(2) {
         let e = tm.eq(w[0], w[1]);
         asserts.push(e);

@@ -114,8 +114,8 @@ pub fn format_scatter(points: &[ScatterPoint]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<34} {:<22} {:>12} {:>12} {:>9}  {}",
-        "Data Structure", "Method", "decid.(s)", "quant.(s)", "slowdown", "quant. status"
+        "{:<34} {:<22} {:>12} {:>12} {:>9}  quant. status",
+        "Data Structure", "Method", "decid.(s)", "quant.(s)", "slowdown"
     );
     let _ = writeln!(out, "{}", "-".repeat(104));
     for p in points {

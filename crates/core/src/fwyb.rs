@@ -135,9 +135,7 @@ fn strip_old(e: &Expr) -> Expr {
     match e {
         Expr::Old(inner) => strip_old(inner),
         Expr::Field(obj, f) => Expr::Field(Box::new(strip_old(obj)), f.clone()),
-        Expr::Binary(op, a, b) => {
-            Expr::Binary(*op, Box::new(strip_old(a)), Box::new(strip_old(b)))
-        }
+        Expr::Binary(op, a, b) => Expr::Binary(*op, Box::new(strip_old(a)), Box::new(strip_old(b))),
         Expr::Unary(op, a) => Expr::Unary(*op, Box::new(strip_old(a))),
         _ => e.clone(),
     }
@@ -238,7 +236,11 @@ fn expand_macro(
             };
             let field = match &args[1] {
                 Expr::Var(f) => f.clone(),
-                _ => return Err(ExpandError::BadMacro("Mut field must be a field name".into())),
+                _ => {
+                    return Err(ExpandError::BadMacro(
+                        "Mut field must be a field name".into(),
+                    ))
+                }
             };
             let value = expand_expr(ids, &args[2]);
             let mut stmts = Vec::new();
@@ -356,7 +358,9 @@ mod tests {
         let body = expanded.procedure("m").unwrap().body.clone().unwrap();
         // Two impact terms + the store itself.
         assert_eq!(body.stmts.len(), 3);
-        assert!(matches!(&body.stmts[2], Stmt::Assign { lhs: Lhs::Field(o, f), .. } if o == "a" && f == "next"));
+        assert!(
+            matches!(&body.stmts[2], Stmt::Assign { lhs: Lhs::Field(o, f), .. } if o == "a" && f == "next")
+        );
         // No macros remain.
         assert!(!format!("{:?}", body).contains("Macro"));
     }

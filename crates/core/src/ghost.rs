@@ -77,7 +77,9 @@ fn mentions_ghost(e: &Expr, gvars: &HashSet<String>, gfields: &HashSet<String>) 
         Expr::Var(v) => gvars.contains(v),
         Expr::Field(obj, f) => gfields.contains(f) || mentions_ghost(obj, gvars, gfields),
         Expr::Old(i) | Expr::Unary(_, i) | Expr::Singleton(i) => mentions_ghost(i, gvars, gfields),
-        Expr::Binary(_, a, b) => mentions_ghost(a, gvars, gfields) || mentions_ghost(b, gvars, gfields),
+        Expr::Binary(_, a, b) => {
+            mentions_ghost(a, gvars, gfields) || mentions_ghost(b, gvars, gfields)
+        }
         Expr::Ite(c, t, f) => {
             mentions_ghost(c, gvars, gfields)
                 || mentions_ghost(t, gvars, gfields)
@@ -155,18 +157,15 @@ fn check_block(
                 }
             }
             Stmt::VarDecl {
-                name, ghost, init, ..
-            } => {
-                if !*ghost && !gvars.contains(name) {
-                    if let Some(e) = init {
-                        if mentions_ghost(e, gvars, gfields) {
-                            out.push(violation(
-                                proc,
-                                "ghost state flows into a non-ghost variable initializer",
-                            ));
-                        }
-                    }
-                }
+                name,
+                ghost,
+                init: Some(e),
+                ..
+            } if !*ghost && !gvars.contains(name) && mentions_ghost(e, gvars, gfields) => {
+                out.push(violation(
+                    proc,
+                    "ghost state flows into a non-ghost variable initializer",
+                ));
             }
             Stmt::Macro { name, args } if name == "Mut" && args.len() == 3 => {
                 if let Expr::Var(f) = &args[1] {
@@ -187,10 +186,7 @@ fn check_block(
                     && (block_has_user_code(then_branch, gvars, gfields)
                         || block_has_user_code(else_branch, gvars, gfields))
                 {
-                    out.push(violation(
-                        proc,
-                        "ghost condition controls non-ghost code",
-                    ));
+                    out.push(violation(proc, "ghost condition controls non-ghost code"));
                 }
                 check_block(proc, then_branch, gvars, gfields, out);
                 check_block(proc, else_branch, gvars, gfields, out);
@@ -223,7 +219,12 @@ fn check_block(
 pub fn project(program: &Program) -> Program {
     let gfields = ghost_fields(program);
     let mut out = Program {
-        fields: program.fields.iter().filter(|f| !f.ghost).cloned().collect(),
+        fields: program
+            .fields
+            .iter()
+            .filter(|f| !f.ghost)
+            .cloned()
+            .collect(),
         procedures: Vec::new(),
     };
     for proc in &program.procedures {
@@ -234,7 +235,10 @@ pub fn project(program: &Program) -> Program {
         p.requires.clear();
         p.ensures.clear();
         p.modifies = None;
-        p.body = proc.body.as_ref().map(|b| project_block(program, b, &gvars, &gfields));
+        p.body = proc
+            .body
+            .as_ref()
+            .map(|b| project_block(program, b, &gvars, &gfields));
         out.procedures.push(p);
     }
     out
@@ -293,11 +297,7 @@ fn project_block(
                     else_branch: project_block(program, else_branch, gvars, gfields),
                 });
             }
-            Stmt::While {
-                cond,
-                body,
-                ..
-            } => {
+            Stmt::While { cond, body, .. } => {
                 if mentions_ghost(cond, gvars, gfields) {
                     continue;
                 }

@@ -249,7 +249,9 @@ pub fn substitute_var(e: &Expr, name: &str, replacement: &Expr) -> Expr {
         | Expr::Nil
         | Expr::EmptySet(_)
         | Expr::Var(_) => e.clone(),
-        Expr::Field(obj, f) => Expr::Field(Box::new(substitute_var(obj, name, replacement)), f.clone()),
+        Expr::Field(obj, f) => {
+            Expr::Field(Box::new(substitute_var(obj, name, replacement)), f.clone())
+        }
         Expr::Old(inner) => Expr::Old(Box::new(substitute_var(inner, name, replacement))),
         Expr::Unary(op, inner) => {
             Expr::Unary(*op, Box::new(substitute_var(inner, name, replacement)))

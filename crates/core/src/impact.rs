@@ -43,10 +43,7 @@ impl ImpactCheckResult {
 }
 
 /// Checks every declared impact set of the definition (primary and secondary).
-pub fn check_impact_sets(
-    ids: &IntrinsicDefinition,
-    encoding: Encoding,
-) -> Vec<ImpactCheckResult> {
+pub fn check_impact_sets(ids: &IntrinsicDefinition, encoding: Encoding) -> Vec<ImpactCheckResult> {
     let mut results = Vec::new();
     for (field, terms) in &ids.impact_sets {
         results.push(check_one(
@@ -195,7 +192,7 @@ mod tests {
             "y",
             "y.prev == nil",
             &[
-                ("next", &impact_next.to_vec()),
+                ("next", impact_next),
                 ("prev", &["x", "old(x.prev)"]),
                 ("length", &["x", "x.prev"]),
             ],

@@ -321,8 +321,7 @@ mod tests {
               Mut(x, next, nil);
             }
         "#;
-        let report =
-            verify_method(&ids, methods, "detach_bad", PipelineConfig::default()).unwrap();
+        let report = verify_method(&ids, methods, "detach_bad", PipelineConfig::default()).unwrap();
         assert!(!report.outcome.is_verified());
     }
 

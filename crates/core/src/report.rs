@@ -50,8 +50,8 @@ pub fn format_table(rows: &[Table2Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<28} {:>3}  {:<22} {:>4} {:>5} {:>4}  {:>9}  {:>4}  {}",
-        "Data Structure", "LC", "Method", "LOC", "Spec", "Ann", "Time(s)", "VCs", "Status"
+        "{:<28} {:>3}  {:<22} {:>4} {:>5} {:>4}  {:>9}  {:>4}  Status",
+        "Data Structure", "LC", "Method", "LOC", "Spec", "Ann", "Time(s)", "VCs"
     );
     let _ = writeln!(out, "{}", "-".repeat(100));
     for r in rows {
@@ -74,7 +74,8 @@ pub fn format_table(rows: &[Table2Row]) -> String {
 
 /// Formats rows as machine-readable CSV.
 pub fn format_csv(rows: &[Table2Row]) -> String {
-    let mut out = String::from("structure,lc_size,method,loc,spec,annotations,time_s,vcs,verified\n");
+    let mut out =
+        String::from("structure,lc_size,method,loc,spec,annotations,time_s,vcs,verified\n");
     for r in rows {
         let _ = writeln!(
             out,
@@ -113,7 +114,10 @@ mod tests {
 
     #[test]
     fn table_formatting_contains_rows() {
-        let rows = vec![row("Singly-Linked List", "Append"), row("Sorted List", "Insert")];
+        let rows = vec![
+            row("Singly-Linked List", "Append"),
+            row("Sorted List", "Insert"),
+        ];
         let text = format_table(&rows);
         assert!(text.contains("Singly-Linked List"));
         assert!(text.contains("Insert"));

@@ -358,7 +358,10 @@ mod tests {
         let (mut heap, head) = build_list(&[1, 2, 3, 4]);
         let head = head.unwrap();
         // Make the list merge back onto its head: prev-inverse breaks.
-        let third = heap.get(heap.get(head, "next").as_loc().unwrap(), "next").as_loc().unwrap();
+        let third = heap
+            .get(heap.get(head, "next").as_loc().unwrap(), "next")
+            .as_loc()
+            .unwrap();
         heap.set(third, "next", Value::Loc(Some(head)));
         let broken = broken_objects(&heap, &list_lc());
         assert!(!broken.is_empty());

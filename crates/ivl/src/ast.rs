@@ -406,13 +406,8 @@ pub fn annotation_lines(proc: &Procedure) -> usize {
     }
     fn count_stmt(s: &Stmt) -> usize {
         match s {
-            Stmt::VarDecl { ghost, .. } => {
-                if *ghost {
-                    1
-                } else {
-                    0
-                }
-            }
+            Stmt::VarDecl { ghost: true, .. } => 1,
+            Stmt::VarDecl { ghost: false, .. } => 0,
             Stmt::Assume(_) | Stmt::Assert(_) => 1,
             Stmt::Macro { name, .. } => {
                 if name == "Mut" || name == "NewObj" {

@@ -373,9 +373,8 @@ impl Parser {
             // call [x, y :=] p(args);
             let first = self.ident()?;
             let mut lhs = Vec::new();
-            let proc;
-            if self.peek() == &Tok::LParen {
-                proc = first;
+            let proc = if self.peek() == &Tok::LParen {
+                first
             } else {
                 lhs.push(first);
                 while self.peek() == &Tok::Comma {
@@ -383,8 +382,8 @@ impl Parser {
                     lhs.push(self.ident()?);
                 }
                 self.expect(&Tok::Assign)?;
-                proc = self.ident()?;
-            }
+                self.ident()?
+            };
             self.expect(&Tok::LParen)?;
             let args = self.expr_list(&Tok::RParen)?;
             self.expect(&Tok::RParen)?;
@@ -630,7 +629,7 @@ impl Parser {
                     self.bump();
                     let args = self.expr_list(&Tok::RParen)?;
                     self.expect(&Tok::RParen)?;
-                    return Ok(self.builtin_or_app(&name, args)?);
+                    return self.builtin_or_app(&name, args);
                 }
                 Ok(Expr::Var(name))
             }

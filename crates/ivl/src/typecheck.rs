@@ -290,7 +290,8 @@ fn check_stmt(ctx: &mut Ctx<'_>, stmt: &Stmt) -> Result<(), TypeError> {
                 }
                 "AssertLCAndRemove" | "InferLCOutsideBr" => {
                     if args.len() != 1 && args.len() != 2 {
-                        return ctx.err(format!("{} expects (object) or (object, brokenset)", name));
+                        return ctx
+                            .err(format!("{} expects (object) or (object, brokenset)", name));
                     }
                     expect_type(ctx, &args[0], Type::Loc)
                 }
@@ -314,12 +315,11 @@ fn expect_type(ctx: &mut Ctx<'_>, e: &Expr, expected: Type) -> Result<(), TypeEr
     }
 }
 
-/// Type compatibility: exact match, Int-as-Real coercion, and the polymorphic
-/// empty set.
+/// Type compatibility: exact match or the Int-as-Real coercion. (The
+/// polymorphic empty set is handled structurally in `infer`, where the
+/// expression — not just its type — is visible.)
 fn compatible(expected: Type, found: Type) -> bool {
-    expected == found
-        || (expected == Type::Real && found == Type::Int)
-        || (expected.is_set() && found.is_set() && (expected == found))
+    expected == found || (expected == Type::Real && found == Type::Int)
 }
 
 fn join_numeric(a: Type, b: Type) -> Option<Type> {

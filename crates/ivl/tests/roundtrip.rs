@@ -1,0 +1,397 @@
+//! Golden roundtrip tests for the IVL front end: for a corpus of procedures,
+//! parse → pretty-print (`printer.rs`) → reparse must reproduce the same AST,
+//! and pretty-printing must be a fixpoint. Plus typechecker rejection cases:
+//! ill-scoped or ill-typed programs must be refused with a useful message.
+
+use ids_ivl::{check_program, parse_program, program_to_string};
+
+/// Asserts that `src` parses, and that parse → print → reparse is the
+/// identity on ASTs (with printing a fixpoint on the printed text).
+fn assert_roundtrip(name: &str, src: &str) {
+    let first = parse_program(src).unwrap_or_else(|e| panic!("{}: corpus must parse: {}", name, e));
+    let printed = program_to_string(&first);
+    let second = parse_program(&printed)
+        .unwrap_or_else(|e| panic!("{}: printed output must reparse: {}\n{}", name, e, printed));
+    assert_eq!(first, second, "{}: AST changed across print/reparse", name);
+    let printed_again = program_to_string(&second);
+    assert_eq!(
+        printed, printed_again,
+        "{}: printing is not a fixpoint",
+        name
+    );
+}
+
+#[test]
+fn roundtrip_fields_and_simple_procedure() {
+    assert_roundtrip(
+        "simple",
+        r#"
+        field next: Loc;
+        field key: Int;
+
+        procedure skip_one(x: Loc) returns (y: Loc)
+          requires x != nil;
+        {
+          y := x.next;
+        }
+        "#,
+    );
+}
+
+#[test]
+fn roundtrip_contracts_and_ghost_fields() {
+    assert_roundtrip(
+        "contracts",
+        r#"
+        field next: Loc;
+        field ghost length: Int;
+
+        procedure measure(x: Loc) returns (n: Int)
+          requires x != nil;
+          ensures n >= 1;
+          ensures n == old(x.length);
+          modifies {x};
+        {
+          n := x.length;
+        }
+        "#,
+    );
+}
+
+#[test]
+fn roundtrip_control_flow() {
+    assert_roundtrip(
+        "control-flow",
+        r#"
+        field next: Loc;
+        field key: Int;
+
+        procedure find(x: Loc, k: Int) returns (r: Loc)
+        {
+          r := x;
+          while (r != nil && r.key != k)
+            invariant true;
+          {
+            r := r.next;
+          }
+          if (r == nil) {
+            r := x;
+          } else {
+            r := r.next;
+          }
+        }
+        "#,
+    );
+}
+
+#[test]
+fn roundtrip_set_expressions() {
+    assert_roundtrip(
+        "sets",
+        r#"
+        field ghost keys: Set<Int>;
+        field ghost hs: Set<Loc>;
+
+        procedure sets(x: Loc, y: Loc) returns (b: Bool)
+          requires x != nil && y != nil;
+        {
+          b := x.keys == union(y.keys, {3}) && 4 in diff(x.keys, inter(x.keys, y.keys)) && x in x.hs;
+        }
+        "#,
+    );
+}
+
+#[test]
+fn roundtrip_fwyb_macro_statements() {
+    assert_roundtrip(
+        "fwyb-macros",
+        r#"
+        field next: Loc;
+        field key: Int;
+        field ghost prev: Loc;
+
+        procedure relink(x: Loc, y: Loc)
+          requires Br == {} && x != nil && y != nil;
+          ensures Br == {};
+          modifies {x};
+        {
+          Mut(x, next, y);
+          Mut(y, prev, x);
+          AssertLCAndRemove(x);
+          AssertLCAndRemove(y);
+        }
+        "#,
+    );
+}
+
+#[test]
+fn roundtrip_allocation_and_calls() {
+    assert_roundtrip(
+        "alloc-calls",
+        r#"
+        field next: Loc;
+        field key: Int;
+
+        procedure helper(x: Loc) returns (r: Loc)
+        {
+          r := x;
+        }
+
+        procedure caller(x: Loc) returns (r: Loc)
+        {
+          var z: Loc;
+          NewObj(z);
+          Mut(z, next, x);
+          call r := helper(z);
+          AssertLCAndRemove(z);
+        }
+        "#,
+    );
+}
+
+#[test]
+fn roundtrip_ghost_variables_and_assumes() {
+    assert_roundtrip(
+        "ghost-vars",
+        r#"
+        field ghost length: Int;
+
+        procedure ghostly(x: Loc) returns (n: Int)
+        {
+          var ghost g: Int;
+          g := x.length;
+          assume g >= 1;
+          n := 0;
+          assert n <= g;
+        }
+        "#,
+    );
+}
+
+#[test]
+fn roundtrip_arithmetic_precedence() {
+    // Nested arithmetic / boolean structure survives the printer with the
+    // same associativity (the AST comparison catches precedence bugs). The
+    // IVL is deliberately linear: no multiplication operator exists.
+    assert_roundtrip(
+        "precedence",
+        r#"
+        field key: Int;
+
+        procedure arith(x: Loc, a: Int, b: Int, c: Int) returns (r: Int)
+        {
+          r := a + c - (a - b) - x.key;
+          assert a + b >= c - 1 || r == r && !(a > b);
+        }
+        "#,
+    );
+}
+
+#[test]
+fn roundtrip_the_shipped_benchmark_sources_style() {
+    // A procedure in the exact idiom of the Table-2 method files: contracts
+    // over broken sets, old() in ensures, macro statements with broken-set
+    // arguments.
+    assert_roundtrip(
+        "table2-style",
+        r#"
+        field next: Loc;
+        field key: Int;
+        field ghost prev: Loc;
+        field ghost length: Int;
+        field ghost keys: Set<Int>;
+
+        procedure insert_front(x: Loc, k: Int) returns (r: Loc)
+          requires Br == {} && x != nil && x.prev == nil;
+          ensures Br == {} && r != nil && r.prev == nil;
+          ensures r.length == old(x.length) + 1;
+          ensures r.keys == union({k}, old(x.keys));
+          modifies {x};
+        {
+          InferLCOutsideBr(x);
+          var z: Loc;
+          NewObj(z);
+          Mut(z, key, k);
+          Mut(z, next, x);
+          Mut(z, length, x.length + 1);
+          Mut(z, keys, union({k}, x.keys));
+          Mut(x, prev, z);
+          AssertLCAndRemove(z);
+          AssertLCAndRemove(x);
+          r := z;
+        }
+        "#,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Typechecker rejection cases
+// ---------------------------------------------------------------------------
+
+/// Asserts that the program parses but is rejected by the typechecker with a
+/// message containing `needle`.
+fn assert_rejected(src: &str, needle: &str) {
+    let program = parse_program(src).expect("rejection corpus must parse");
+    let err = check_program(&program).expect_err("typechecker must reject");
+    let msg = err.to_string();
+    assert!(
+        msg.contains(needle),
+        "error message {:?} does not mention {:?}",
+        msg,
+        needle
+    );
+}
+
+#[test]
+fn rejects_undeclared_variable() {
+    assert_rejected(
+        r#"
+        procedure bad() returns (n: Int)
+        {
+          n := phantom;
+        }
+        "#,
+        "phantom",
+    );
+}
+
+#[test]
+fn rejects_unknown_field_access() {
+    assert_rejected(
+        r#"
+        field key: Int;
+
+        procedure bad(x: Loc) returns (n: Int)
+        {
+          n := x.missing;
+        }
+        "#,
+        "missing",
+    );
+}
+
+#[test]
+fn rejects_type_mismatch_in_assignment() {
+    assert_rejected(
+        r#"
+        field key: Int;
+
+        procedure bad(x: Loc) returns (n: Int)
+        {
+          n := x != nil;
+        }
+        "#,
+        "Bool",
+    );
+}
+
+#[test]
+fn rejects_arithmetic_on_booleans() {
+    assert_rejected(
+        r#"
+        procedure bad(a: Bool, b: Bool) returns (n: Int)
+        {
+          n := a + b;
+        }
+        "#,
+        "",
+    );
+}
+
+#[test]
+fn rejects_membership_on_non_set() {
+    assert_rejected(
+        r#"
+        procedure bad(a: Int, b: Int) returns (r: Bool)
+        {
+          r := a in b;
+        }
+        "#,
+        "set",
+    );
+}
+
+#[test]
+fn rejects_call_arity_mismatch() {
+    assert_rejected(
+        r#"
+        procedure callee(a: Int, b: Int) returns (r: Int)
+        {
+          r := a + b;
+        }
+
+        procedure bad(a: Int) returns (r: Int)
+        {
+          call r := callee(a);
+        }
+        "#,
+        "argument",
+    );
+}
+
+#[test]
+fn rejects_non_boolean_condition() {
+    assert_rejected(
+        r#"
+        procedure bad(a: Int) returns (r: Int)
+        {
+          if (a) {
+            r := 1;
+          } else {
+            r := 0;
+          }
+        }
+        "#,
+        "",
+    );
+}
+
+#[test]
+fn rejects_non_boolean_contract() {
+    assert_rejected(
+        r#"
+        procedure bad(a: Int) returns (r: Int)
+          requires a + 1;
+        {
+          r := a;
+        }
+        "#,
+        "",
+    );
+}
+
+#[test]
+fn accepts_every_shipped_rejection_counterpart() {
+    // Sanity: the well-typed twins of the rejection cases above all pass, so
+    // the rejections are about the planted defect, not collateral strictness.
+    for src in [
+        r#"
+        procedure ok() returns (n: Int)
+        {
+          n := 1;
+        }
+        "#,
+        r#"
+        field key: Int;
+
+        procedure ok(x: Loc) returns (n: Int)
+        {
+          n := x.key;
+        }
+        "#,
+        r#"
+        procedure callee(a: Int, b: Int) returns (r: Int)
+        {
+          r := a + b;
+        }
+
+        procedure ok(a: Int) returns (r: Int)
+        {
+          call r := callee(a, a);
+        }
+        "#,
+    ] {
+        let program = parse_program(src).expect("parses");
+        check_program(&program).expect("well-typed");
+    }
+}

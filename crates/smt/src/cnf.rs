@@ -100,11 +100,7 @@ fn encode(tm: &TermManager, t: TermId, sat: &mut SatSolver, map: &mut AtomMap) -
             inner.negate()
         }
         Op::And | Op::Or | Op::Implies | Op::Iff | Op::Ite => {
-            let args: Vec<Lit> = term
-                .args
-                .iter()
-                .map(|a| encode(tm, *a, sat, map))
-                .collect();
+            let args: Vec<Lit> = term.args.iter().map(|a| encode(tm, *a, sat, map)).collect();
             let v = sat.new_var();
             map.var_of_term.insert(t, v);
             let lv = Lit::new(v, true);

@@ -373,24 +373,25 @@ impl<'a> Euf<'a> {
             }
         }
         // Walk a -> lca and b -> lca collecting edge reasons.
-        let walk = |mut x: usize, stop: usize, this: &mut Self, tags: &mut Vec<usize>, depth: usize| {
-            while x != stop {
-                let (p, reason) = this.pf_parent[x].clone().expect("path to lca");
-                match reason {
-                    Reason::Asserted(t) => tags.push(t),
-                    Reason::Congruence(u, v) => {
-                        let (tu, tv) = (this.template.terms[u], this.template.terms[v]);
-                        let args_u = this.tm.term(tu).args.clone();
-                        let args_v = this.tm.term(tv).args.clone();
-                        for (x_arg, y_arg) in args_u.iter().zip(args_v.iter()) {
-                            let (nu, nv) = (this.node(*x_arg), this.node(*y_arg));
-                            this.explain_rec(nu, nv, tags, depth + 1);
+        let walk =
+            |mut x: usize, stop: usize, this: &mut Self, tags: &mut Vec<usize>, depth: usize| {
+                while x != stop {
+                    let (p, reason) = this.pf_parent[x].clone().expect("path to lca");
+                    match reason {
+                        Reason::Asserted(t) => tags.push(t),
+                        Reason::Congruence(u, v) => {
+                            let (tu, tv) = (this.template.terms[u], this.template.terms[v]);
+                            let args_u = this.tm.term(tu).args.clone();
+                            let args_v = this.tm.term(tv).args.clone();
+                            for (x_arg, y_arg) in args_u.iter().zip(args_v.iter()) {
+                                let (nu, nv) = (this.node(*x_arg), this.node(*y_arg));
+                                this.explain_rec(nu, nv, tags, depth + 1);
+                            }
                         }
                     }
+                    x = p;
                 }
-                x = p;
-            }
-        };
+            };
         walk(a, lca, self, tags, depth);
         walk(b, lca, self, tags, depth);
     }

@@ -223,10 +223,8 @@ fn instantiate(tm: &mut TermManager, roots: &[TermId]) -> Vec<TermId> {
             Op::Subset => {
                 subset_atoms.push(t);
             }
-            Op::Eq => {
-                if tm.sort(term.args[0]).is_container() {
-                    container_eq_atoms.push(t);
-                }
+            Op::Eq if tm.sort(term.args[0]).is_container() => {
+                container_eq_atoms.push(t);
             }
             _ => {}
         }

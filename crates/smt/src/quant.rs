@@ -91,8 +91,7 @@ fn ground_pool(tm: &TermManager, roots: &[TermId]) -> HashMap<Sort, Vec<TermId>>
             Op::Var(n) => bound_names.contains(n),
             _ => false,
         });
-        let is_groundish = term.args.is_empty()
-            || matches!(term.op, Op::Select | Op::App(_));
+        let is_groundish = term.args.is_empty() || matches!(term.op, Op::Select | Op::App(_));
         if !mentions_bound
             && is_groundish
             && matches!(term.sort, Sort::Loc | Sort::Int | Sort::Real)

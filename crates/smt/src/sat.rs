@@ -333,7 +333,7 @@ impl SatSolver {
             for &q in &lits {
                 // Skip the literal we are currently resolving on (it occurs in
                 // its own reason clause with the opposite polarity).
-                if p.map_or(false, |pl| pl.var() == q.var()) {
+                if p.is_some_and(|pl| pl.var() == q.var()) {
                     continue;
                 }
                 let v = q.var() as usize;
@@ -623,10 +623,11 @@ mod tests {
         for row in &p {
             s.add_clause(vec![lit(row[0], true), lit(row[1], true)]);
         }
-        for j in 0..2 {
-            for i in 0..3 {
-                for k in (i + 1)..3 {
-                    s.add_clause(vec![lit(p[i][j], false), lit(p[k][j], false)]);
+        for i in 0..3 {
+            for k in (i + 1)..3 {
+                let (pi, pk) = (p[i].clone(), p[k].clone());
+                for (&a, &b) in pi.iter().zip(pk.iter()) {
+                    s.add_clause(vec![lit(a, false), lit(b, false)]);
                 }
             }
         }
@@ -650,9 +651,15 @@ mod tests {
     #[test]
     fn random_3sat_consistency() {
         // Small random instances: whatever the result, if SAT then the model
-        // must satisfy every clause.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        // must satisfy every clause. Deterministic xorshift so the test is
+        // reproducible without an external rand crate.
+        let mut state = 42u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
         for _ in 0..30 {
             let mut s = SatSolver::new();
             let n = 12;
@@ -660,7 +667,7 @@ mod tests {
             let mut clauses = vec![];
             for _ in 0..40 {
                 let c: Vec<Lit> = (0..3)
-                    .map(|_| lit(vars[rng.gen_range(0..n)], rng.gen_bool(0.5)))
+                    .map(|_| lit(vars[next() as usize % n], next() % 2 == 0))
                     .collect();
                 clauses.push(c.clone());
                 s.add_clause(c);

@@ -47,7 +47,7 @@ impl LinExpr {
     /// Adds `k * v` to the expression.
     pub fn add_term(&mut self, k: Rat, v: usize) {
         let entry = self.terms.entry(v).or_insert(Rat::ZERO);
-        *entry = *entry + k;
+        *entry += k;
         if entry.is_zero() {
             self.terms.remove(&v);
         }
@@ -55,7 +55,7 @@ impl LinExpr {
 
     /// Adds another expression scaled by `k`.
     pub fn add_scaled(&mut self, k: Rat, other: &LinExpr) {
-        self.constant = self.constant + other.constant * k;
+        self.constant += other.constant * k;
         for (&v, &c) in &other.terms {
             self.add_term(c * k, v);
         }
@@ -145,10 +145,14 @@ impl Simplex {
     ///
     /// # Panics
     /// Panics if `rel` is [`Rel::Neq`] (the caller must case-split).
-    pub fn add_constraint(&mut self, expr: &LinExpr, rel: Rel, tag: usize) -> Result<(), Vec<usize>> {
-        match rel {
-            Rel::Neq => panic!("Neq must be split by the caller"),
-            _ => {}
+    pub fn add_constraint(
+        &mut self,
+        expr: &LinExpr,
+        rel: Rel,
+        tag: usize,
+    ) -> Result<(), Vec<usize>> {
+        if rel == Rel::Neq {
+            panic!("Neq must be split by the caller")
         }
         if expr.is_constant() {
             let c = expr.constant;
@@ -199,9 +203,7 @@ impl Simplex {
             }
             (Rel::Le, false) => self.assert_upper(x, DeltaRat::from_rat(bound), tag)?,
             (Rel::Le, true) => self.assert_lower(x, DeltaRat::from_rat(bound), tag)?,
-            (Rel::Lt, false) => {
-                self.assert_upper(x, DeltaRat::new(bound, -Rat::ONE), tag)?
-            }
+            (Rel::Lt, false) => self.assert_upper(x, DeltaRat::new(bound, -Rat::ONE), tag)?,
             (Rel::Lt, true) => self.assert_lower(x, DeltaRat::new(bound, Rat::ONE), tag)?,
             (Rel::Neq, _) => unreachable!(),
         }
@@ -214,11 +216,11 @@ impl Simplex {
             if let Some(basic_row) = self.rows.get(&v) {
                 for (&w, &cw) in basic_row {
                     let e = out.entry(w).or_insert(Rat::ZERO);
-                    *e = *e + c * cw;
+                    *e += c * cw;
                 }
             } else {
                 let e = out.entry(v).or_insert(Rat::ZERO);
-                *e = *e + c;
+                *e += c;
             }
         }
         out.retain(|_, c| !c.is_zero());
@@ -339,7 +341,7 @@ impl Simplex {
                 r.remove(&xj);
                 for (&k, &a) in &new_row {
                     let e = r.entry(k).or_insert(Rat::ZERO);
-                    *e = *e + c * a;
+                    *e += c * a;
                 }
                 r.retain(|_, v| !v.is_zero());
                 self.rows.insert(b, r);
@@ -364,7 +366,8 @@ impl Simplex {
                 Some(v) => v,
             };
             let row: Vec<(usize, Rat)> = {
-                let mut r: Vec<(usize, Rat)> = self.rows[&xi].iter().map(|(&k, &v)| (k, v)).collect();
+                let mut r: Vec<(usize, Rat)> =
+                    self.rows[&xi].iter().map(|(&k, &v)| (k, v)).collect();
                 r.sort_unstable_by_key(|&(k, _)| k);
                 r
             };
@@ -376,11 +379,11 @@ impl Simplex {
                     let can = if a.is_positive() {
                         self.upper[xj]
                             .as_ref()
-                            .map_or(true, |u| self.assignment[xj] < u.value)
+                            .is_none_or(|u| self.assignment[xj] < u.value)
                     } else {
                         self.lower[xj]
                             .as_ref()
-                            .map_or(true, |l| self.assignment[xj] > l.value)
+                            .is_none_or(|l| self.assignment[xj] > l.value)
                     };
                     if can {
                         pivot_var = Some(xj);
@@ -413,11 +416,11 @@ impl Simplex {
                     let can = if a.is_positive() {
                         self.lower[xj]
                             .as_ref()
-                            .map_or(true, |l| self.assignment[xj] > l.value)
+                            .is_none_or(|l| self.assignment[xj] > l.value)
                     } else {
                         self.upper[xj]
                             .as_ref()
-                            .map_or(true, |u| self.assignment[xj] < u.value)
+                            .is_none_or(|u| self.assignment[xj] < u.value)
                     };
                     if can {
                         pivot_var = Some(xj);
@@ -453,8 +456,7 @@ impl Simplex {
         };
         // Find an integer variable with a fractional (or infinitesimal) value.
         let frac = (0..self.num_vars).find(|&v| {
-            self.is_int[v]
-                && (!assignment[v].delta.is_zero() || !assignment[v].real.is_integer())
+            self.is_int[v] && (!assignment[v].delta.is_zero() || !assignment[v].real.is_integer())
         });
         let v = match frac {
             None => return ArithOutcome::Sat(assignment),
@@ -500,11 +502,19 @@ impl Simplex {
                 Ok(()) => s.branch_and_bound(depth + 1),
             }
         };
-        let first_out = if up_first { run_up(self) } else { run_down(self) };
+        let first_out = if up_first {
+            run_up(self)
+        } else {
+            run_down(self)
+        };
         if let ArithOutcome::Sat(a) = first_out {
             return ArithOutcome::Sat(a);
         }
-        let second_out = if up_first { run_down(self) } else { run_up(self) };
+        let second_out = if up_first {
+            run_down(self)
+        } else {
+            run_up(self)
+        };
         let (left_out, right_out) = (first_out, second_out);
         match (left_out, right_out) {
             (ArithOutcome::Unknown, _) | (_, ArithOutcome::Unknown) => ArithOutcome::Unknown,

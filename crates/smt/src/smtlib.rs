@@ -113,15 +113,16 @@ pub fn to_smtlib(tm: &TermManager, roots: &[TermId]) -> String {
             Op::Var(name) => {
                 decls.insert(
                     sanitize(name),
-                    format!("(declare-const {} {})", sanitize(name), sort_str(&term.sort)),
+                    format!(
+                        "(declare-const {} {})",
+                        sanitize(name),
+                        sort_str(&term.sort)
+                    ),
                 );
             }
             Op::App(name) => {
-                let arg_sorts: Vec<String> = term
-                    .args
-                    .iter()
-                    .map(|&a| sort_str(tm.sort(a)))
-                    .collect();
+                let arg_sorts: Vec<String> =
+                    term.args.iter().map(|&a| sort_str(tm.sort(a))).collect();
                 decls.insert(
                     sanitize(name),
                     format!(

@@ -197,7 +197,11 @@ impl Solver {
                 TheoryCheck::Unknown => {
                     if std::env::var("IDS_SMT_DEBUG").is_ok() {
                         for (t, b) in &literals {
-                            eprintln!("UNKNOWN-LIT {} {}", b, crate::smtlib::term_to_smtlib(tm, *t));
+                            eprintln!(
+                                "UNKNOWN-LIT {} {}",
+                                b,
+                                crate::smtlib::term_to_smtlib(tm, *t)
+                            );
                         }
                     }
                     return SatResult::Unknown;
@@ -238,8 +242,8 @@ impl Solver {
     pub fn check_valid(&mut self, tm: &mut TermManager, formula: TermId) -> SatResult {
         let neg = tm.not(formula);
         match self.check(tm, &[neg]) {
-            SatResult::Unsat => SatResult::Sat,   // valid
-            SatResult::Sat => SatResult::Unsat,   // counterexample exists
+            SatResult::Unsat => SatResult::Sat, // valid
+            SatResult::Sat => SatResult::Unsat, // counterexample exists
             SatResult::Unknown => SatResult::Unknown,
         }
     }

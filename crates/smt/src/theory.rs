@@ -227,19 +227,18 @@ impl TheoryChecker {
         let derived_base = literals.len() + 10;
         let mut derived_explanations: Vec<Vec<usize>> = Vec::new();
 
-        let conflict_from = |tags: Vec<usize>,
-                             derived_explanations: &Vec<Vec<usize>>|
-         -> TheoryCheck {
-            let mut out = Vec::new();
-            for t in tags {
-                if t >= derived_base {
-                    out.extend(derived_explanations[t - derived_base].iter().copied());
-                } else {
-                    out.push(t);
+        let conflict_from =
+            |tags: Vec<usize>, derived_explanations: &Vec<Vec<usize>>| -> TheoryCheck {
+                let mut out = Vec::new();
+                for t in tags {
+                    if t >= derived_base {
+                        out.extend(derived_explanations[t - derived_base].iter().copied());
+                    } else {
+                        out.push(t);
+                    }
                 }
-            }
-            TheoryCheck::Conflict(clean_tags(out))
-        };
+                TheoryCheck::Conflict(clean_tags(out))
+            };
 
         // Load the arithmetic literals. Strict inequalities over integer-sorted
         // sides are tightened to non-strict ones (`a < b` becomes `a + 1 <= b`),
@@ -256,7 +255,7 @@ impl TheoryChecker {
                 expr.add_term(coeff, v);
             }
             let rel = if lit.rel == Rel::Lt && lit.both_int {
-                expr.constant = expr.constant + Rat::ONE;
+                expr.constant += Rat::ONE;
                 Rel::Le
             } else {
                 lit.rel
@@ -337,7 +336,7 @@ fn difference_form(
     let mut merged: Vec<(TermId, Rat)> = Vec::with_capacity(form.terms.len());
     for (t, c) in form.terms {
         match merged.last_mut() {
-            Some((lt, lc)) if *lt == t => *lc = *lc + c,
+            Some((lt, lc)) if *lt == t => *lc += c,
             _ => merged.push((t, c)),
         }
     }
@@ -357,8 +356,8 @@ fn accumulate(
 ) {
     let term = tm.term(t);
     match &term.op {
-        Op::IntLit(n) => form.constant = form.constant + scale * Rat::from_int(*n),
-        Op::RealLit(r) => form.constant = form.constant + scale * *r,
+        Op::IntLit(n) => form.constant += scale * Rat::from_int(*n),
+        Op::RealLit(r) => form.constant += scale * *r,
         Op::Add => {
             for &a in &term.args {
                 accumulate(tm, a, scale, form, leaf_is_int);

@@ -1,0 +1,170 @@
+//! Property tests for the congruence-closure engine (`euf.rs`): the reported
+//! equivalence classes match a reference union-find closed under congruence,
+//! and conflicts come with sound explanations.
+
+use ids_smt::euf::{Euf, EufOutcome};
+use ids_smt::{Sort, TermId, TermManager};
+use proptest::prelude::*;
+
+/// Reference union-find (no congruence, used where no function symbols exist).
+struct Dsu(Vec<usize>);
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu((0..n).collect())
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.0[x] != x {
+            let r = self.find(self.0[x]);
+            self.0[x] = r;
+            r
+        } else {
+            x
+        }
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        self.0[ra] = rb;
+    }
+}
+
+fn fresh_vars(tm: &mut TermManager, n: usize) -> Vec<TermId> {
+    (0..n)
+        .map(|i| tm.var(&format!("x{}", i), Sort::Loc))
+        .collect()
+}
+
+proptest! {
+    /// Merging random pairs of plain variables produces exactly the classes
+    /// of a reference union-find.
+    #[test]
+    fn classes_match_reference_union_find(
+        n in 2usize..8,
+        merges in proptest::collection::vec((0usize..8, 0usize..8), 0..12),
+    ) {
+        let mut tm = TermManager::new();
+        let vars = fresh_vars(&mut tm, n);
+        let mut euf = Euf::new(&tm, &vars);
+        let mut dsu = Dsu::new(n);
+        for (tag, &(a, b)) in merges.iter().enumerate() {
+            let (a, b) = (a % n, b % n);
+            euf.assert_eq(vars[a], vars[b], tag);
+            dsu.union(a, b);
+        }
+        prop_assert!(matches!(euf.check(), EufOutcome::Consistent));
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    euf.same(vars[i], vars[j]),
+                    dsu.find(i) == dsu.find(j),
+                    "vars {} and {} disagree with the reference",
+                    i,
+                    j
+                );
+            }
+        }
+    }
+
+    /// An equality chain `x0 = x1 = ... = xn` forces `f(x0) = f(xn)` by
+    /// congruence; asserting the disequality yields a conflict whose
+    /// explanation only mentions asserted tags.
+    #[test]
+    fn congruence_propagates_along_chains(n in 2usize..9) {
+        let mut tm = TermManager::new();
+        let vars = fresh_vars(&mut tm, n);
+        let f_first = tm.app("f", vec![vars[0]], Sort::Int);
+        let f_last = tm.app("f", vec![vars[n - 1]], Sort::Int);
+        let mut universe = vars.clone();
+        universe.push(f_first);
+        universe.push(f_last);
+        let mut euf = Euf::new(&tm, &universe);
+        for i in 1..n {
+            euf.assert_eq(vars[i - 1], vars[i], i);
+        }
+        let neq_tag = 1000;
+        euf.assert_neq(f_first, f_last, neq_tag);
+        match euf.check() {
+            EufOutcome::Conflict(tags) => {
+                prop_assert!(
+                    tags.iter().all(|&t| (1..n).contains(&t) || t == neq_tag),
+                    "explanation {:?} mentions unasserted tags",
+                    tags
+                );
+                prop_assert!(
+                    tags.contains(&neq_tag),
+                    "explanation {:?} must include the disequality",
+                    tags
+                );
+            }
+            other => prop_assert!(false, "expected conflict, got {:?}", other),
+        }
+    }
+
+    /// Disequalities between distinct variables alone are always consistent.
+    #[test]
+    fn pure_disequalities_are_consistent(n in 2usize..8) {
+        let mut tm = TermManager::new();
+        let vars = fresh_vars(&mut tm, n);
+        let mut euf = Euf::new(&tm, &vars);
+        let mut tag = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                euf.assert_neq(vars[i], vars[j], tag);
+                tag += 1;
+            }
+        }
+        prop_assert!(matches!(euf.check(), EufOutcome::Consistent));
+    }
+
+    /// Equality is reflexive without any assertions, and never identifies
+    /// distinct unmerged variables.
+    #[test]
+    fn same_is_reflexive_and_initially_discrete(n in 1usize..8) {
+        let mut tm = TermManager::new();
+        let vars = fresh_vars(&mut tm, n);
+        let mut euf = Euf::new(&tm, &vars);
+        prop_assert!(matches!(euf.check(), EufOutcome::Consistent));
+        for i in 0..n {
+            prop_assert!(euf.same(vars[i], vars[i]));
+            for j in (i + 1)..n {
+                prop_assert!(!euf.same(vars[i], vars[j]));
+            }
+        }
+    }
+}
+
+/// `a = f(a)` collapses the whole tower `f(f(a))`, `f(f(f(a)))`, … into one
+/// class (congruence applied transitively).
+#[test]
+fn function_tower_collapses_under_fixpoint_equation() {
+    let mut tm = TermManager::new();
+    let a = tm.var("a", Sort::Loc);
+    let fa = tm.app("f", vec![a], Sort::Loc);
+    let ffa = tm.app("f", vec![fa], Sort::Loc);
+    let fffa = tm.app("f", vec![ffa], Sort::Loc);
+    let universe = [a, fa, ffa, fffa];
+    let mut euf = Euf::new(&tm, &universe);
+    euf.assert_eq(a, fa, 0);
+    assert!(matches!(euf.check(), EufOutcome::Consistent));
+    assert!(euf.same(a, ffa));
+    assert!(euf.same(a, fffa));
+    assert!(euf.same(fa, fffa));
+}
+
+/// Congruence is per-symbol: `g(a)` stays separate from `f(a)` even when the
+/// `f`-tower collapses.
+#[test]
+fn distinct_symbols_do_not_merge() {
+    let mut tm = TermManager::new();
+    let a = tm.var("a", Sort::Loc);
+    let b = tm.var("b", Sort::Loc);
+    let fa = tm.app("f", vec![a], Sort::Int);
+    let fb = tm.app("f", vec![b], Sort::Int);
+    let ga = tm.app("g", vec![a], Sort::Int);
+    let universe = [a, b, fa, fb, ga];
+    let mut euf = Euf::new(&tm, &universe);
+    euf.assert_eq(a, b, 0);
+    assert!(matches!(euf.check(), EufOutcome::Consistent));
+    assert!(euf.same(fa, fb));
+    assert!(!euf.same(fa, ga));
+}

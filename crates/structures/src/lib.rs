@@ -55,17 +55,29 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
             lists::singly_linked_list(),
             lists::SINGLY_LINKED_LIST_METHODS,
         ),
-        benchmark("Sorted List", lists::sorted_list(), lists::SORTED_LIST_METHODS),
+        benchmark(
+            "Sorted List",
+            lists::sorted_list(),
+            lists::SORTED_LIST_METHODS,
+        ),
         benchmark(
             "Sorted List (w. min, max)",
             lists::sorted_list_minmax(),
             lists::SORTED_LIST_MINMAX_METHODS,
         ),
-        benchmark("Circular List", lists::circular_list(), lists::CIRCULAR_LIST_METHODS),
+        benchmark(
+            "Circular List",
+            lists::circular_list(),
+            lists::CIRCULAR_LIST_METHODS,
+        ),
         benchmark("Binary Search Tree", trees::bst(), trees::BST_METHODS),
         benchmark("Treap", trees::treap(), trees::TREAP_METHODS),
         benchmark("AVL Tree", trees::avl(), trees::AVL_METHODS),
-        benchmark("Red-Black Tree", trees::red_black(), trees::RED_BLACK_METHODS),
+        benchmark(
+            "Red-Black Tree",
+            trees::red_black(),
+            trees::RED_BLACK_METHODS,
+        ),
         benchmark(
             "BST+Scaffolding",
             trees::bst_scaffolding(),
@@ -217,10 +229,8 @@ mod tests {
 
     #[test]
     fn singly_linked_list_impact_table_is_correct() {
-        let results = ids_core::impact::check_impact_sets(
-            &lists::singly_linked_list(),
-            ids_vcgen_encoding(),
-        );
+        let results =
+            ids_core::impact::check_impact_sets(&lists::singly_linked_list(), ids_vcgen_encoding());
         for r in &results {
             assert!(r.is_correct(), "impact set for '{}' rejected", r.field);
         }

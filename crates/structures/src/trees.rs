@@ -41,8 +41,15 @@ const BST_IMPACT: &[(&str, &[&str])] = &[
 
 /// Binary search trees (Appendix D.2).
 pub fn bst() -> IntrinsicDefinition {
-    IntrinsicDefinition::parse("Binary Search Tree", BST_FIELDS, BST_LC, "y", "y.p == nil", BST_IMPACT)
-        .expect("bst definition")
+    IntrinsicDefinition::parse(
+        "Binary Search Tree",
+        BST_FIELDS,
+        BST_LC,
+        "y",
+        "y.p == nil",
+        BST_IMPACT,
+    )
+    .expect("bst definition")
 }
 
 /// FWYB-annotated methods over binary search trees.
@@ -296,7 +303,10 @@ procedure avl_find(x: Loc, k: Int) returns (found: Bool)
 pub fn red_black() -> IntrinsicDefinition {
     IntrinsicDefinition::parse(
         "Red-Black Tree",
-        &format!("{}\nfield ghost red: Bool;\nfield ghost bheight: Int;", BST_FIELDS),
+        &format!(
+            "{}\nfield ghost red: Bool;\nfield ghost bheight: Int;",
+            BST_FIELDS
+        ),
         &format!(
             "{} \
              && x.bheight >= 1 \

@@ -27,7 +27,8 @@ pub fn generate(
     let nil = tm.var("nil", Sort::Loc);
     let alloc = tm.fresh_var("Alloc", Sort::set_of(Sort::Loc));
     env.vars.insert("Alloc".into(), alloc);
-    env.vars.insert("Br".into(), tm.fresh_var("Br", Sort::set_of(Sort::Loc)));
+    env.vars
+        .insert("Br".into(), tm.fresh_var("Br", Sort::set_of(Sort::Loc)));
     env.vars
         .insert("Br2".into(), tm.fresh_var("Br2", Sort::set_of(Sort::Loc)));
     let nil_unalloc = {
@@ -57,7 +58,10 @@ pub fn generate(
         }
     }
     // Locals are in scope for the whole body (Boogie-style flattened scope).
-    let body = proc.body.clone().ok_or_else(|| VcError::NoBody(proc.name.clone()))?;
+    let body = proc
+        .body
+        .clone()
+        .ok_or_else(|| VcError::NoBody(proc.name.clone()))?;
     declare_locals(tm, &mut env, &body);
 
     let old_env = env.clone();
@@ -115,13 +119,7 @@ impl<'a> Ctx<'a> {
         self.assumptions.push(t);
     }
 
-    fn emit_vc(
-        &mut self,
-        tm: &mut TermManager,
-        guard: TermId,
-        fact: TermId,
-        description: String,
-    ) {
+    fn emit_vc(&mut self, tm: &mut TermManager, guard: TermId, fact: TermId, description: String) {
         let mut antecedent = self.assumptions.clone();
         antecedent.push(guard);
         let ante = tm.and(antecedent);
@@ -211,16 +209,12 @@ impl<'a> Ctx<'a> {
                         env.vars.insert(v.clone(), value);
                     }
                     Lhs::Field(obj, field) => {
-                        let o = env
-                            .vars
-                            .get(obj)
-                            .copied()
-                            .ok_or_else(|| VcError::Encoding(format!("unbound variable '{}'", obj)))?;
-                        let map = env
-                            .fields
-                            .get(field)
-                            .copied()
-                            .ok_or_else(|| VcError::Encoding(format!("unknown field '{}'", field)))?;
+                        let o = env.vars.get(obj).copied().ok_or_else(|| {
+                            VcError::Encoding(format!("unbound variable '{}'", obj))
+                        })?;
+                        let map = env.fields.get(field).copied().ok_or_else(|| {
+                            VcError::Encoding(format!("unknown field '{}'", field))
+                        })?;
                         let updated = tm.store(map, o, value);
                         env.fields.insert(field.clone(), updated);
                     }
@@ -248,7 +242,11 @@ impl<'a> Ctx<'a> {
                     tm,
                     guard,
                     t,
-                    format!("{}::assert {}", self.proc_name, ids_ivl::printer::expr_to_string(e)),
+                    format!(
+                        "{}::assert {}",
+                        self.proc_name,
+                        ids_ivl::printer::expr_to_string(e)
+                    ),
                 );
                 Ok(env)
             }
@@ -285,8 +283,10 @@ impl<'a> Ctx<'a> {
                 let guard_then = tm.and2(guard, c);
                 let nc = tm.not(c);
                 let guard_else = tm.and2(guard, nc);
-                let env_then = self.exec_block(tm, then_branch, env.clone(), guard_then, old_env)?;
-                let env_else = self.exec_block(tm, else_branch, env.clone(), guard_else, old_env)?;
+                let env_then =
+                    self.exec_block(tm, then_branch, env.clone(), guard_then, old_env)?;
+                let env_else =
+                    self.exec_block(tm, else_branch, env.clone(), guard_else, old_env)?;
                 Ok(merge_envs(tm, c, &env_then, &env_else))
             }
             Stmt::While {
@@ -519,10 +519,8 @@ fn collect_targets(program: &Program, block: &Block, out: &mut LoopTargets) {
                 Lhs::Var(v) => out.vars.push(v.clone()),
                 Lhs::Field(_, f) => out.fields.push(f.clone()),
             },
-            Stmt::VarDecl { name, init, .. } => {
-                if init.is_some() {
-                    out.vars.push(name.clone());
-                }
+            Stmt::VarDecl { name, init, .. } if init.is_some() => {
+                out.vars.push(name.clone());
             }
             Stmt::Havoc { name } => out.vars.push(name.clone()),
             Stmt::Alloc { lhs } => {

@@ -174,11 +174,7 @@ impl<'a> VcGen<'a> {
     ///
     /// Returns the outcome together with the number of solver calls. VCs are
     /// checked in order; the first refuted/undecided VC stops the run.
-    pub fn verify(
-        &self,
-        tm: &mut TermManager,
-        proc_name: &str,
-    ) -> Result<VerifyOutcome, VcError> {
+    pub fn verify(&self, tm: &mut TermManager, proc_name: &str) -> Result<VerifyOutcome, VcError> {
         let vcs = self.vcs_for(tm, proc_name)?;
         let config = match self.encoding {
             Encoding::Decidable => SolverConfig::default(),

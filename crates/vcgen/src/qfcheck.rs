@@ -38,12 +38,15 @@ pub fn theory_profile(tm: &TermManager, roots: &[TermId]) -> TheoryProfile {
         match &tm.term(t).op {
             Op::Forall(_) => p.quantifiers = true,
             Op::App(_) => p.uninterpreted = true,
-            Op::Add | Op::Sub | Op::Neg | Op::MulConst(_) | Op::Le | Op::Lt => {
-                p.arithmetic = true
-            }
+            Op::Add | Op::Sub | Op::Neg | Op::MulConst(_) | Op::Le | Op::Lt => p.arithmetic = true,
             Op::Select | Op::Store => p.arrays = true,
             Op::MapIte => p.pointwise_updates = true,
-            Op::Union | Op::Inter | Op::Diff | Op::Member | Op::Subset | Op::Singleton
+            Op::Union
+            | Op::Inter
+            | Op::Diff
+            | Op::Member
+            | Op::Subset
+            | Op::Singleton
             | Op::EmptySet(_) => p.sets = true,
             _ => {}
         }

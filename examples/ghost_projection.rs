@@ -30,7 +30,10 @@ fn main() {
     let proc = expanded
         .procedure("insert_front")
         .expect("insert_front exists");
-    print!("{}", intrinsic_verify::ivl::printer::procedure_to_string(proc));
+    print!(
+        "{}",
+        intrinsic_verify::ivl::printer::procedure_to_string(proc)
+    );
 
     println!("\n== the projected user program (ghost code erased) ==\n");
     let user = project(&merged);

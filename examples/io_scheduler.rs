@@ -19,9 +19,15 @@ fn main() {
     println!("Overlaid scheduler queue (SLL + BST on shared nodes)");
     println!(
         "  ghost monadic maps : {}",
-        ids.ghost_maps().map(|f| f.name.clone()).collect::<Vec<_>>().join(", ")
+        ids.ghost_maps()
+            .map(|f| f.name.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
-    println!("  local condition    : {} conjuncts across two broken sets", ids.lc_size());
+    println!(
+        "  local condition    : {} conjuncts across two broken sets",
+        ids.lc_size()
+    );
 
     println!("\n== impact-set correctness (list condition + tree condition) ==");
     let results = check_impact_sets(&ids, Encoding::Decidable);
@@ -29,15 +35,27 @@ fn main() {
         println!(
             "  {:<11} {:<10} {:>9}  ({:.2}s)",
             r.field,
-            if r.secondary { "(tree LC)" } else { "(list LC)" },
-            if r.is_correct() { "correct" } else { "REJECTED" },
+            if r.secondary {
+                "(tree LC)"
+            } else {
+                "(list LC)"
+            },
+            if r.is_correct() {
+                "correct"
+            } else {
+                "REJECTED"
+            },
             r.duration.as_secs_f64()
         );
     }
 
     println!("\n== method verification ==");
-    let reports = verify_all(&ids, overlaid::SCHEDULER_QUEUE_METHODS, PipelineConfig::default())
-        .expect("pipeline runs");
+    let reports = verify_all(
+        &ids,
+        overlaid::SCHEDULER_QUEUE_METHODS,
+        PipelineConfig::default(),
+    )
+    .expect("pipeline runs");
     for r in &reports {
         println!(
             "  {:<28} -> {:<10} ({} VCs, {:.2}s)",

@@ -43,7 +43,11 @@ fn main() {
         println!(
             "  field {:<8} {:>9}  ({:.2}s)",
             r.field,
-            if r.is_correct() { "correct" } else { "REJECTED" },
+            if r.is_correct() {
+                "correct"
+            } else {
+                "REJECTED"
+            },
             r.duration.as_secs_f64()
         );
     }
@@ -90,8 +94,8 @@ fn main() {
 
     println!("\n== verification ==");
     for method in ["push", "push_buggy"] {
-        let report = verify_method(&ids, methods, method, PipelineConfig::default())
-            .expect("pipeline runs");
+        let report =
+            verify_method(&ids, methods, method, PipelineConfig::default()).expect("pipeline runs");
         println!(
             "  {:<12} -> {:<12} ({} VCs, {:.2}s)",
             method,

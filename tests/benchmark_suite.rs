@@ -7,7 +7,10 @@ use intrinsic_verify::structures::{all_benchmarks, lists, trees};
 
 #[test]
 fn registry_matches_the_papers_structure_list() {
-    let names: Vec<String> = all_benchmarks().iter().map(|b| b.name.to_string()).collect();
+    let names: Vec<String> = all_benchmarks()
+        .iter()
+        .map(|b| b.name.to_string())
+        .collect();
     for expected in [
         "Singly-Linked List",
         "Sorted List",
@@ -44,13 +47,20 @@ fn representative_methods_verify() {
             lists::SINGLY_LINKED_LIST_METHODS,
             "set_key",
         ),
-        (trees::treap(), trees::TREAP_METHODS, "treap_raise_root_priority"),
-        (trees::bst_scaffolding(), trees::BST_SCAFFOLDING_METHODS, "scaffolding_of"),
+        (
+            trees::treap(),
+            trees::TREAP_METHODS,
+            "treap_raise_root_priority",
+        ),
+        (
+            trees::bst_scaffolding(),
+            trees::BST_SCAFFOLDING_METHODS,
+            "scaffolding_of",
+        ),
     ];
     for (ids, src, method) in cases {
         let merged = load_methods(&ids, src).unwrap();
-        let report =
-            verify_method_in(&ids, &merged, method, PipelineConfig::default()).unwrap();
+        let report = verify_method_in(&ids, &merged, method, PipelineConfig::default()).unwrap();
         assert!(
             report.outcome.is_verified(),
             "{} failed: {:?}",

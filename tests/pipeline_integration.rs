@@ -67,7 +67,8 @@ fn full_pipeline_verifies_push() {
 #[test]
 fn pipeline_rejects_wrong_functional_spec() {
     let wrong = PUSH.replace("old(x.length) + 1", "old(x.length) + 2");
-    let report = verify_method(&two_field_list(), &wrong, "push", PipelineConfig::default()).unwrap();
+    let report =
+        verify_method(&two_field_list(), &wrong, "push", PipelineConfig::default()).unwrap();
     assert!(!report.outcome.is_verified());
 }
 

@@ -40,8 +40,7 @@ fn prop_formula(num_vars: usize) -> impl Strategy<Value = PropFormula> {
                 .prop_map(|(a, b)| PropFormula::Or(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| PropFormula::Implies(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| PropFormula::Iff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| PropFormula::Iff(Box::new(a), Box::new(b))),
         ]
     })
 }
@@ -299,8 +298,7 @@ fn set_expr(num_vars: usize) -> impl Strategy<Value = SetExpr> {
                 .prop_map(|(a, b)| SetExpr::Union(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| SetExpr::Inter(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| SetExpr::Diff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| SetExpr::Diff(Box::new(a), Box::new(b))),
         ]
     })
 }

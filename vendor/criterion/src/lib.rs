@@ -1,0 +1,246 @@
+//! Offline shim of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking harness.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the (small) subset of criterion's API that the `ids-bench` benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros. Benches compile
+//! against it unchanged and, when run, report a median wall-clock time per
+//! iteration instead of criterion's full statistical analysis.
+//!
+//! When `cargo test` runs a `harness = false` bench target it passes
+//! `--test`; in that mode each benchmark function is executed exactly once so
+//! the suite stays fast while still exercising every bench body.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Returns its argument, hiding it from the optimizer.
+///
+/// A `black_box` that works on stable without inline assembly: routing the
+/// value through a volatile read prevents the compiler from constant-folding
+/// benchmark bodies away.
+pub fn black_box<T>(dummy: T) -> T {
+    // std::hint::black_box is stable since 1.66 — just defer to it.
+    std::hint::black_box(dummy)
+}
+
+/// How a bench invocation should behave (full measurement vs. smoke test).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: measure and report per-iteration times.
+    Measure,
+    /// `cargo test` on a bench target: run each body once, report nothing.
+    Test,
+    /// `--list` was passed: print benchmark names without running them.
+    List,
+}
+
+/// Parses the mode plus the libtest-style positional name filter, so
+/// `cargo test some_name` doesn't execute every unrelated bench body.
+fn args_from_cli() -> (Mode, Option<String>) {
+    let mut mode = Mode::Measure;
+    let mut filter = None;
+    let mut skip_value = false;
+    for arg in std::env::args().skip(1) {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--test" => mode = Mode::Test,
+            "--list" => mode = Mode::List,
+            "--format" | "--logfile" | "-Z" => skip_value = true,
+            a if a.starts_with('-') => {}
+            a => filter = Some(a.to_string()),
+        }
+    }
+    (mode, filter)
+}
+
+/// The measurement configuration and sink for one bench run.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let (mode, filter) = args_from_cli();
+        Criterion {
+            mode,
+            filter,
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark time budget (a cap, not a target, in this shim).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        self.run_one(name, sample_size, measurement_time, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        match self.mode {
+            Mode::List => {
+                println!("{}: benchmark", name);
+            }
+            Mode::Test => {
+                let mut b = Bencher {
+                    samples: Vec::new(),
+                    max_samples: 1,
+                    budget: Duration::from_secs(3600),
+                };
+                f(&mut b);
+                println!("test {} ... ok", name);
+            }
+            Mode::Measure => {
+                let mut b = Bencher {
+                    samples: Vec::new(),
+                    max_samples: sample_size,
+                    budget: measurement_time,
+                };
+                f(&mut b);
+                b.samples.sort_unstable();
+                let median = b
+                    .samples
+                    .get(b.samples.len() / 2)
+                    .copied()
+                    .unwrap_or_default();
+                println!(
+                    "{:<60} median {:>12.3?}  ({} samples)",
+                    name,
+                    median,
+                    b.samples.len()
+                );
+            }
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration overrides.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Overrides the per-benchmark time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let measurement_time = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        self.criterion
+            .run_one(&full, sample_size, measurement_time, f);
+        self
+    }
+
+    /// Finishes the group (a no-op in this shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; collects timed iterations.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    max_samples: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times repeated invocations of `routine` until the sample count or the
+    /// time budget is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.max_samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a function that runs each listed benchmark with a fresh default
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` as running the listed [`criterion_group!`] functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,186 @@
+//! The [`Strategy`] trait and the combinators the workspace's tests use.
+
+use std::cell::RefCell;
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value` from a [`TestRng`].
+///
+/// Unlike full proptest there is no value tree / shrinking machinery: a
+/// strategy is just a deterministic sampler.
+pub trait Strategy {
+    /// The type of values this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Rc::new(move |rng| f(inner.sample(rng))))
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `recurse`
+    /// maps a strategy for subterms to a strategy for composite terms. `depth`
+    /// bounds the nesting; the other two parameters (proptest's desired size
+    /// and expected branch size) only shape the leaf/branch bias here.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        // `slot` is filled with the branch strategy after `recurse` runs; the
+        // inner strategy handed to `recurse` reads it back through the cell,
+        // tying the recursive knot.
+        let slot: Rc<RefCell<Option<BoxedStrategy<Self::Value>>>> = Rc::new(RefCell::new(None));
+        let leaf_for_inner = leaf.clone();
+        let slot_for_inner = Rc::clone(&slot);
+        let inner = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+            // Terminate at the depth budget; otherwise branch two times in
+            // three so generated terms vary in size.
+            if rng.depth() == 0 || rng.below(3) == 0 {
+                leaf_for_inner.sample(rng)
+            } else {
+                let branch = slot_for_inner
+                    .borrow()
+                    .as_ref()
+                    .expect("recursive strategy sampled during construction")
+                    .clone();
+                rng.push_depth();
+                let v = branch.sample(rng);
+                rng.pop_depth();
+                v
+            }
+        }));
+        *slot.borrow_mut() = Some(recurse(inner.clone()).boxed());
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+            rng.with_depth(depth, |rng| inner.sample(rng))
+        }))
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between alternatives (the target of [`prop_oneof!`]).
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T: 'static> Union<T> {
+    /// A union over the given non-empty list of alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].sample(rng)
+    }
+}
+
+/// The strategy returned by [`collection::vec`].
+///
+/// [`collection::vec`]: crate::collection::vec
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start).max(1) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy");
+                (self.start as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}

@@ -1,0 +1,101 @@
+//! Test-case configuration and the deterministic RNG behind generation.
+
+/// How many cases each property runs, mirroring proptest's config struct.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Error type kept for API compatibility with proptest's runner.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A deterministic xorshift-style PRNG. Each test case gets a seed derived
+/// from the test's module path + name and the case index, so runs are
+/// reproducible without any persisted state.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+    /// Remaining recursion budget for [`prop_recursive`] strategies.
+    ///
+    /// [`prop_recursive`]: crate::strategy::Strategy::prop_recursive
+    pub(crate) depth: u32,
+}
+
+impl TestRng {
+    /// Creates the RNG for one case of one named property.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // Avoid the all-zero fixed point of xorshift.
+        let state = if h == 0 { 0x853c_49e6_748f_ea9b } else { h };
+        TestRng { state, depth: 0 }
+    }
+
+    /// Next raw 64-bit output (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % n
+    }
+
+    /// Remaining recursion budget (see `Strategy::prop_recursive`).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Spends one level of recursion budget.
+    pub fn push_depth(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// Returns one level of recursion budget.
+    pub fn pop_depth(&mut self) {
+        self.depth += 1;
+    }
+
+    /// Runs `f` with the recursion budget set to `depth`, restoring the
+    /// previous budget afterwards.
+    pub fn with_depth<T>(&mut self, depth: u32, f: impl FnOnce(&mut TestRng) -> T) -> T {
+        let saved = self.depth;
+        self.depth = depth;
+        let v = f(self);
+        self.depth = saved;
+        v
+    }
+}
