@@ -1,0 +1,101 @@
+//! Sequential vs. parallel batch driver, and cold vs. warm VC cache, on a
+//! mid-size method (singly-linked-list `delete_front`: 8 real SMT queries,
+//! seconds of single-core solving). On a multicore host the parallel run
+//! approaches `1/jobs` of the sequential time; the warm-cache run collapses
+//! to hashing + report assembly because every verdict is answered from the
+//! persisted cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ids_driver::{verify_selections, DriverConfig, Selection};
+use ids_structures::lists;
+
+fn sll_selection<'a>(
+    ids: &'a ids_core::IntrinsicDefinition,
+    methods: &[&str],
+) -> Vec<Selection<'a>> {
+    vec![Selection {
+        name: "Singly-Linked List",
+        definition: ids,
+        methods_src: lists::SINGLY_LINKED_LIST_METHODS,
+        methods: methods.iter().map(|m| m.to_string()).collect(),
+    }]
+}
+
+fn bench_driver(c: &mut Criterion) {
+    let ids = lists::singly_linked_list();
+    let methods = ["delete_front"];
+    let mut group = c.benchmark_group("driver");
+    group.sample_size(2);
+
+    group.bench_function("sequential_jobs1", |b| {
+        let selections = sll_selection(&ids, &methods);
+        let config = DriverConfig {
+            jobs: 1,
+            cache_path: None,
+            ..DriverConfig::default()
+        };
+        b.iter(|| {
+            let batch = verify_selections(&selections, &config);
+            assert!(batch.errors.is_empty());
+            batch.reports.len()
+        });
+    });
+
+    group.bench_function("parallel_jobs4", |b| {
+        let selections = sll_selection(&ids, &methods);
+        let config = DriverConfig {
+            jobs: 4,
+            cache_path: None,
+            ..DriverConfig::default()
+        };
+        b.iter(|| {
+            let batch = verify_selections(&selections, &config);
+            assert!(batch.errors.is_empty());
+            batch.reports.len()
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let ids = lists::singly_linked_list();
+    let methods = ["delete_front"];
+    let cache = std::env::temp_dir().join(format!("ids-driver-bench-{}.cache", std::process::id()));
+    let mut group = c.benchmark_group("cache");
+    group.sample_size(2);
+
+    group.bench_function("cold", |b| {
+        let selections = sll_selection(&ids, &methods);
+        let config = DriverConfig {
+            jobs: 4,
+            cache_path: None, // no persistence: every iteration solves anew
+            ..DriverConfig::default()
+        };
+        b.iter(|| verify_selections(&selections, &config).reports.len());
+    });
+
+    group.bench_function("warm", |b| {
+        std::fs::remove_file(&cache).ok();
+        let selections = sll_selection(&ids, &methods);
+        let config = DriverConfig {
+            jobs: 4,
+            cache_path: Some(cache.clone()),
+            ..DriverConfig::default()
+        };
+        // Populate the cache once; every measured iteration then runs warm.
+        let seeded = verify_selections(&selections, &config);
+        assert!(seeded.stats.smt_queries > 0);
+        b.iter(|| {
+            let batch = verify_selections(&selections, &config);
+            assert_eq!(batch.stats.smt_queries, 0, "warm run must not query");
+            batch.reports.len()
+        });
+    });
+
+    group.finish();
+    std::fs::remove_file(&cache).ok();
+}
+
+criterion_group!(benches, bench_driver, bench_cache);
+criterion_main!(benches);

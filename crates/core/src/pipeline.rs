@@ -13,9 +13,9 @@
 
 use std::time::{Duration, Instant};
 
-use ids_ivl::{ast, parse_program, Program};
-use ids_smt::TermManager;
-use ids_vcgen::{Encoding, VcGen, VerifyOutcome};
+use ids_ivl::{ast, parse_program, Procedure, Program};
+use ids_smt::{structural_hash, SatResult, SolverStats, TermManager};
+use ids_vcgen::{check_formula, Encoding, Vc, VcGen, VerifyOutcome};
 
 use crate::fwyb::{expand_program, ExpandError};
 use crate::ghost::{check_ghost_legality, GhostViolation};
@@ -112,6 +112,200 @@ pub struct MethodReport {
     pub wellbehaved_violations: Vec<Violation>,
     /// Ghost-code legality violations (empty for the shipped benchmarks).
     pub ghost_violations: Vec<GhostViolation>,
+    /// Aggregated SMT solver statistics over the discharged VCs.
+    pub solver: SolverStats,
+    /// How many of the VCs were answered from a result cache rather than by a
+    /// fresh solver query (always 0 in the sequential pipeline).
+    pub cached_vcs: usize,
+}
+
+/// The verdict of one verification condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VcVerdict {
+    /// The VC is valid.
+    Valid,
+    /// The VC has a counterexample.
+    Refuted,
+    /// The solver could not decide the VC.
+    Unknown,
+}
+
+/// The result of discharging one verification condition.
+#[derive(Clone, Debug)]
+pub struct VcResult {
+    /// Index of the VC inside its [`MethodTask`].
+    pub vc_index: usize,
+    /// The verdict.
+    pub verdict: VcVerdict,
+    /// Solver statistics of the query (zeroed for cached results).
+    pub stats: SolverStats,
+    /// Wall-clock time of the query.
+    pub time: Duration,
+    /// True if the result came from a cache instead of a solver run.
+    pub cached: bool,
+}
+
+impl VcResult {
+    /// A result answered from a cache (no solver query).
+    pub fn from_cache(vc_index: usize, verdict: VcVerdict) -> VcResult {
+        VcResult {
+            vc_index,
+            verdict,
+            stats: SolverStats::default(),
+            time: Duration::ZERO,
+            cached: true,
+        }
+    }
+}
+
+/// A fully prepared unit of verification work: one method, expanded and
+/// lowered to its verification conditions, but with no solver run yet.
+///
+/// This is the decomposition point the batch driver (`ids-driver`) schedules
+/// on: each `(task, vc_index)` pair is an independent SMT query — the owned
+/// [`TermManager`] makes the task `Send`, so VCs of one method can be
+/// discharged on different worker threads (each worker clones the manager,
+/// which shares no state). The sequential pipeline entry points below are
+/// thin wrappers over the same decomposition.
+#[derive(Clone, Debug)]
+pub struct MethodTask {
+    /// Data structure (or file) label for reporting.
+    pub structure: String,
+    /// Method name.
+    pub method: String,
+    /// The term manager the VC formulas live in.
+    pub tm: TermManager,
+    /// The verification conditions, in generation order.
+    pub vcs: Vec<Vc>,
+    /// The encoding the VCs were generated under.
+    pub encoding: Encoding,
+    /// Time spent expanding + generating VCs.
+    pub prepare_time: Duration,
+    /// Lines of executable code.
+    pub loc: usize,
+    /// Lines of specification.
+    pub spec: usize,
+    /// Lines of ghost annotation.
+    pub annotations: usize,
+    /// Size of the local condition in conjuncts.
+    pub lc_size: usize,
+    /// Well-behavedness violations.
+    pub wellbehaved_violations: Vec<Violation>,
+    /// Ghost-code legality violations.
+    pub ghost_violations: Vec<GhostViolation>,
+}
+
+impl MethodTask {
+    /// Number of verification conditions.
+    pub fn num_vcs(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// A stable content-addressed key for one VC: the structural hash of its
+    /// formula salted with the encoding mode (the same formula under the
+    /// quantified encoding is a different solver problem). Stable across
+    /// processes, so usable as an on-disk cache key.
+    pub fn vc_key(&self, vc_index: usize) -> u128 {
+        let h = structural_hash(&self.tm, self.vcs[vc_index].formula);
+        match self.encoding {
+            Encoding::Decidable => h,
+            Encoding::Quantified => h ^ 0x9e37_79b9_7f4a_7c15_9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Discharges one VC on a private clone of the term manager; safe to call
+    /// concurrently for different indices from different threads.
+    pub fn check_vc(&self, vc_index: usize) -> VcResult {
+        let mut tm = self.tm.clone();
+        self.check_vc_in(&mut tm, vc_index)
+    }
+
+    /// Discharges one VC inside the given term manager (the sequential path
+    /// reuses one manager across the method's VCs to avoid re-cloning).
+    pub fn check_vc_in(&self, tm: &mut TermManager, vc_index: usize) -> VcResult {
+        let start = Instant::now();
+        let (result, stats) = check_formula(tm, self.vcs[vc_index].formula, self.encoding);
+        let verdict = match result {
+            SatResult::Sat => VcVerdict::Valid,
+            SatResult::Unsat => VcVerdict::Refuted,
+            SatResult::Unknown => VcVerdict::Unknown,
+        };
+        VcResult {
+            vc_index,
+            verdict,
+            stats,
+            time: start.elapsed(),
+            cached: false,
+        }
+    }
+
+    /// Discharges the VCs in order, stopping at the first refuted/undecided
+    /// one — the classic sequential pipeline behaviour.
+    pub fn run_sequential(&self) -> Vec<VcResult> {
+        let mut tm = self.tm.clone();
+        let mut out = Vec::with_capacity(self.vcs.len());
+        for i in 0..self.vcs.len() {
+            let r = self.check_vc_in(&mut tm, i);
+            let stop = r.verdict != VcVerdict::Valid;
+            out.push(r);
+            if stop {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Folds per-VC results into the method report.
+    ///
+    /// The outcome is derived by scanning the results in VC order, which gives
+    /// verdicts identical to the sequential pipeline even when the results
+    /// were computed out of order (or only partially, for an early stop).
+    pub fn report(&self, results: &[VcResult]) -> MethodReport {
+        let mut outcome = VerifyOutcome::Verified {
+            vcs: self.vcs.len(),
+        };
+        let mut duration = self.prepare_time;
+        let mut solver = SolverStats::default();
+        let mut cached_vcs = 0;
+        let mut ordered: Vec<&VcResult> = results.iter().collect();
+        ordered.sort_by_key(|r| r.vc_index);
+        for r in &ordered {
+            duration += r.time;
+            solver.merge(&r.stats);
+            if r.cached {
+                cached_vcs += 1;
+            }
+        }
+        for r in &ordered {
+            if r.verdict != VcVerdict::Valid {
+                let description = self.vcs[r.vc_index].description.clone();
+                outcome = match r.verdict {
+                    VcVerdict::Refuted => VerifyOutcome::Refuted {
+                        failed: description,
+                    },
+                    _ => VerifyOutcome::Unknown {
+                        undecided: description,
+                    },
+                };
+                break;
+            }
+        }
+        MethodReport {
+            structure: self.structure.clone(),
+            method: self.method.clone(),
+            outcome,
+            num_vcs: self.vcs.len(),
+            duration,
+            loc: self.loc,
+            spec: self.spec,
+            annotations: self.annotations,
+            lc_size: self.lc_size,
+            wellbehaved_violations: self.wellbehaved_violations.clone(),
+            ghost_violations: self.ghost_violations.clone(),
+            solver,
+            cached_vcs,
+        }
+    }
 }
 
 /// Parses a method file and merges it with the definition's field prelude.
@@ -144,12 +338,20 @@ pub fn verify_method_in(
     method: &str,
     config: PipelineConfig,
 ) -> Result<MethodReport, PipelineError> {
-    let proc = merged
-        .procedure(method)
-        .ok_or_else(|| PipelineError::NoSuchMethod(method.to_string()))?
-        .clone();
+    let task = prepare_method_in(ids, merged, method, config)?;
+    let results = task.run_sequential();
+    Ok(task.report(&results))
+}
 
-    let wellbehaved_violations = crate::wellbehaved::check_procedure(&proc);
+/// Checks the FWYB discipline of a procedure and expands nothing: the shared
+/// front half of [`prepare_method_in`] and [`prepare_plain`].
+fn check_discipline(
+    merged: &Program,
+    proc: &Procedure,
+    method: &str,
+    config: PipelineConfig,
+) -> Result<(Vec<Violation>, Vec<GhostViolation>), PipelineError> {
+    let wellbehaved_violations = crate::wellbehaved::check_procedure(proc);
     if config.strict_wellbehaved && !wellbehaved_violations.is_empty() {
         return Err(PipelineError::NotWellBehaved(wellbehaved_violations));
     }
@@ -157,26 +359,82 @@ pub fn verify_method_in(
         .into_iter()
         .filter(|v| v.procedure == method)
         .collect();
+    Ok((wellbehaved_violations, ghost_violations))
+}
+
+/// Prepares one method of an already-parsed program for verification:
+/// discipline checks, macro expansion, VC generation — everything up to (but
+/// not including) the solver queries. The returned [`MethodTask`] owns its
+/// term manager and can be discharged VC by VC, on any thread.
+pub fn prepare_method_in(
+    ids: &IntrinsicDefinition,
+    merged: &Program,
+    method: &str,
+    config: PipelineConfig,
+) -> Result<MethodTask, PipelineError> {
+    let proc = merged
+        .procedure(method)
+        .ok_or_else(|| PipelineError::NoSuchMethod(method.to_string()))?
+        .clone();
+    let (wellbehaved_violations, ghost_violations) =
+        check_discipline(merged, &proc, method, config)?;
 
     let start = Instant::now();
     let expanded = expand_program(ids, merged)?;
     let vcgen = VcGen::new(&expanded, config.encoding);
     let mut tm = TermManager::new();
     let vcs = vcgen.vcs_for(&mut tm, method)?;
-    let num_vcs = vcs.len();
-    let outcome = vcgen.verify(&mut tm, method)?;
-    let duration = start.elapsed();
+    let prepare_time = start.elapsed();
 
-    Ok(MethodReport {
+    Ok(MethodTask {
         structure: ids.name.clone(),
         method: method.to_string(),
-        outcome,
-        num_vcs,
-        duration,
+        tm,
+        vcs,
+        encoding: config.encoding,
+        prepare_time,
         loc: ast::executable_loc(&proc),
         spec: ast::spec_lines(&proc),
         annotations: ast::annotation_lines(&proc),
         lc_size: ids.lc_size(),
+        wellbehaved_violations,
+        ghost_violations,
+    })
+}
+
+/// Prepares one procedure of a plain IVL program (no intrinsic definition):
+/// the `ids-verify verify <file>` path. FWYB macro statements are not
+/// expanded — a program using them must be verified against a definition.
+pub fn prepare_plain(
+    structure: &str,
+    program: &Program,
+    method: &str,
+    config: PipelineConfig,
+) -> Result<MethodTask, PipelineError> {
+    let proc = program
+        .procedure(method)
+        .ok_or_else(|| PipelineError::NoSuchMethod(method.to_string()))?
+        .clone();
+    let (wellbehaved_violations, ghost_violations) =
+        check_discipline(program, &proc, method, config)?;
+
+    let start = Instant::now();
+    let vcgen = VcGen::new(program, config.encoding);
+    let mut tm = TermManager::new();
+    let vcs = vcgen.vcs_for(&mut tm, method)?;
+    let prepare_time = start.elapsed();
+
+    Ok(MethodTask {
+        structure: structure.to_string(),
+        method: method.to_string(),
+        tm,
+        vcs,
+        encoding: config.encoding,
+        prepare_time,
+        loc: ast::executable_loc(&proc),
+        spec: ast::spec_lines(&proc),
+        annotations: ast::annotation_lines(&proc),
+        lc_size: 0,
         wellbehaved_violations,
         ghost_violations,
     })

@@ -1,0 +1,448 @@
+//! `ids-verify` — command-line front end of the parallel batch verifier.
+//!
+//! ```text
+//! ids-verify suite  [--quick] [--jobs N] [--cache PATH] [--json] [--quantified]
+//! ids-verify verify <FILE> [--structure NAME] [--method NAME]
+//!                   [--jobs N] [--cache PATH] [--json] [--quantified]
+//! ```
+//!
+//! `suite` runs the Table-2 registry (optionally filtered by `--structure` /
+//! `--method`); `verify` runs one IVL file, either stand-alone or merged with
+//! a registry structure's definition.
+//! Exit code 0 = everything verified, 1 = some method failed or was
+//! undecided, 2 = usage or pipeline error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ids_core::pipeline::{prepare_plain, PipelineConfig};
+use ids_core::report::{format_table, Table2Row};
+use ids_driver::json::Json;
+use ids_driver::{verify_selections, verify_tasks, BatchReport, DriverConfig, Selection};
+use ids_smt::SolverStats;
+use ids_structures::{all_benchmarks, quick_benchmarks};
+use ids_vcgen::Encoding;
+
+const USAGE: &str = "\
+ids-verify — parallel batch verification of intrinsically defined data structures
+
+USAGE:
+    ids-verify suite  [OPTIONS]          verify the whole Table-2 registry
+    ids-verify verify <FILE> [OPTIONS]   verify every procedure of an IVL file
+
+OPTIONS:
+    --jobs N           worker threads (default: available parallelism)
+    --cache PATH       persistent VC cache file (created if missing)
+    --json             machine-readable JSON output
+    --quantified       use the quantified (Dafny-style) encoding
+    --quick            (suite) only the quick benchmark subset
+    --structure NAME   (suite) only structures whose name contains NAME
+                       (substring match, case-insensitive);
+                       (verify) merge the file with this registry structure's
+                       definition
+    --method NAME      only this method; repeatable
+    -h, --help         this message
+";
+
+struct Options {
+    jobs: Option<usize>,
+    cache: Option<PathBuf>,
+    json: bool,
+    quantified: bool,
+    quick: bool,
+    structure: Option<String>,
+    methods: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Options {
+    /// True if `name` passes the `--method` filter.
+    fn method_wanted(&self, name: &str) -> bool {
+        self.methods.is_empty() || self.methods.iter().any(|m| m == name)
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        jobs: None,
+        cache: None,
+        json: false,
+        quantified: false,
+        quick: false,
+        structure: None,
+        methods: Vec::new(),
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{} requires a value", flag))
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                let v = value_of("--jobs")?;
+                o.jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid --jobs value '{}'", v))?
+                        .max(1),
+                );
+            }
+            "--cache" => o.cache = Some(PathBuf::from(value_of("--cache")?)),
+            "--json" => o.json = true,
+            "--quantified" => o.quantified = true,
+            "--quick" => o.quick = true,
+            "--structure" => o.structure = Some(value_of("--structure")?),
+            "--method" => o.methods.push(value_of("--method")?),
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option '{}'", other)),
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn driver_config(o: &Options) -> DriverConfig {
+    let mut config = DriverConfig {
+        encoding: if o.quantified {
+            Encoding::Quantified
+        } else {
+            Encoding::Decidable
+        },
+        cache_path: o.cache.clone(),
+        ..DriverConfig::default()
+    };
+    if let Some(jobs) = o.jobs {
+        config.jobs = jobs;
+    }
+    config
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprint!("{}", USAGE);
+        return ExitCode::from(2);
+    };
+    let options = match parse_options(&args[1..]) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", USAGE);
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {}\n\n{}", msg, USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match command.as_str() {
+        "suite" => run_suite(&options),
+        "verify" => run_verify(&options),
+        "-h" | "--help" => {
+            print!("{}", USAGE);
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command '{}'\n\n{}", other, USAGE);
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_suite(options: &Options) -> ExitCode {
+    if !options.positional.is_empty() {
+        eprintln!("error: 'suite' takes no positional arguments\n\n{}", USAGE);
+        return ExitCode::from(2);
+    }
+    let mut benchmarks = if options.quick {
+        quick_benchmarks()
+    } else {
+        all_benchmarks()
+    };
+    if let Some(wanted) = &options.structure {
+        let needle = wanted.to_lowercase();
+        benchmarks.retain(|b| b.name.to_lowercase().contains(&needle));
+        if benchmarks.is_empty() {
+            eprintln!("error: no registry structure matches '{}'", wanted);
+            return ExitCode::from(2);
+        }
+    }
+    let mut selections: Vec<Selection> = benchmarks.iter().map(Selection::from_benchmark).collect();
+    for sel in &mut selections {
+        sel.methods.retain(|m| options.method_wanted(m));
+    }
+    // A --method name that matched nothing is almost always a typo (or a
+    // renamed benchmark method): fail loudly instead of silently shrinking
+    // the run — CI smoke steps depend on every listed method actually running.
+    let mut unmatched = false;
+    for wanted in &options.methods {
+        if !selections
+            .iter()
+            .any(|sel| sel.methods.iter().any(|m| m == wanted))
+        {
+            eprintln!(
+                "error: --method '{}' matches no method in the suite",
+                wanted
+            );
+            unmatched = true;
+        }
+    }
+    if unmatched {
+        return ExitCode::from(2);
+    }
+    selections.retain(|sel| !sel.methods.is_empty());
+    if selections.is_empty() {
+        eprintln!("error: the --method filter matched no methods");
+        return ExitCode::from(2);
+    }
+    let config = driver_config(options);
+    let batch = verify_selections(&selections, &config);
+    emit(&batch, &config, "suite", options.json)
+}
+
+fn run_verify(options: &Options) -> ExitCode {
+    let [file] = options.positional.as_slice() else {
+        eprintln!("error: 'verify' takes exactly one file\n\n{}", USAGE);
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {}", file, e);
+            return ExitCode::from(2);
+        }
+    };
+    let config = driver_config(options);
+    let pipeline_config = PipelineConfig {
+        encoding: config.encoding,
+        ..PipelineConfig::default()
+    };
+
+    let batch = if let Some(wanted) = &options.structure {
+        // Merge the file with a registry definition; FWYB macros expand.
+        // The name must match exactly one structure — verifying against a
+        // silently guessed definition would produce meaningless verdicts.
+        let registry = all_benchmarks();
+        let needle = wanted.to_lowercase();
+        let matches: Vec<&ids_structures::Benchmark> = registry
+            .iter()
+            .filter(|b| b.name.to_lowercase().contains(&needle))
+            .collect();
+        let benchmark = match matches.as_slice() {
+            [one] => *one,
+            [] => {
+                eprintln!("error: no registry structure matches '{}'", wanted);
+                eprintln!("known structures:");
+                for b in &registry {
+                    eprintln!("  {}", b.name);
+                }
+                return ExitCode::from(2);
+            }
+            several => {
+                eprintln!("error: --structure '{}' is ambiguous; it matches:", wanted);
+                for b in several {
+                    eprintln!("  {}", b.name);
+                }
+                return ExitCode::from(2);
+            }
+        };
+        let methods = match methods_in(&src, options) {
+            Ok(m) => m,
+            Err(code) => return code,
+        };
+        if let Some(code) = check_method_filter(&methods, options) {
+            return code;
+        }
+        let selection = Selection {
+            name: benchmark.name,
+            definition: &benchmark.definition,
+            methods_src: &src,
+            methods,
+        };
+        verify_selections(std::slice::from_ref(&selection), &config)
+    } else {
+        // Stand-alone program: no definition, no macro expansion.
+        let program = match ids_ivl::parse_program(&src)
+            .map_err(|e| e.to_string())
+            .and_then(|p| {
+                ids_ivl::check_program(&p)
+                    .map(|_| p)
+                    .map_err(|e| e.to_string())
+            }) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {}: {}", file, e);
+                return ExitCode::from(2);
+            }
+        };
+        let label = PathBuf::from(file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| file.clone());
+        let selected: Vec<&str> = program
+            .procedures
+            .iter()
+            .filter(|p| p.body.is_some())
+            .map(|p| p.name.as_str())
+            .filter(|n| options.method_wanted(n))
+            .collect();
+        if let Some(code) = check_method_filter(&selected, options) {
+            return code;
+        }
+        let mut tasks = Vec::new();
+        let mut batch = BatchReport::default();
+        for name in selected {
+            match prepare_plain(&label, &program, name, pipeline_config) {
+                Ok(task) => tasks.push(task),
+                Err(e) => batch.errors.push(ids_driver::BatchError {
+                    structure: label.clone(),
+                    method: name.to_string(),
+                    message: e.to_string(),
+                }),
+            }
+        }
+        let mut solved = verify_tasks(tasks, &config);
+        solved.errors.extend(batch.errors);
+        solved
+    };
+    emit(&batch, &config, "verify", options.json)
+}
+
+/// Rejects a run in which a `--method` name matched nothing, or nothing is
+/// left to verify — an empty "all verified" run is a trap for scripts.
+fn check_method_filter<S: AsRef<str>>(selected: &[S], options: &Options) -> Option<ExitCode> {
+    let mut bad = false;
+    for wanted in &options.methods {
+        if !selected.iter().any(|m| m.as_ref() == wanted) {
+            eprintln!("error: --method '{}' matches no procedure", wanted);
+            bad = true;
+        }
+    }
+    if selected.is_empty() {
+        eprintln!("error: no procedures with a body to verify");
+        bad = true;
+    }
+    if bad {
+        Some(ExitCode::from(2))
+    } else {
+        None
+    }
+}
+
+/// The bodies of a methods file, restricted to the `--method` filter.
+fn methods_in(src: &str, options: &Options) -> Result<Vec<String>, ExitCode> {
+    match ids_ivl::parse_program(src) {
+        Ok(p) => Ok(p
+            .procedures
+            .iter()
+            .filter(|p| p.body.is_some())
+            .map(|p| p.name.clone())
+            .filter(|n| options.method_wanted(n))
+            .collect()),
+        Err(e) => {
+            eprintln!("error: {}", e);
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn emit(batch: &BatchReport, config: &DriverConfig, command: &str, json: bool) -> ExitCode {
+    if json {
+        println!("{}", to_json(batch, config, command));
+    } else {
+        let rows: Vec<Table2Row> = batch.reports.iter().map(Table2Row::from).collect();
+        print!("{}", format_table(&rows));
+        for e in &batch.errors {
+            eprintln!("error: [{}::{}] {}", e.structure, e.method, e.message);
+        }
+        let s = &batch.stats;
+        let verified = batch
+            .reports
+            .iter()
+            .filter(|r| r.outcome.is_verified())
+            .count();
+        println!(
+            "\n{} methods ({} verified, {} failed), {} VCs | cache hits {}, SMT queries {}, skipped {} | wall {:.2}s (jobs={})",
+            s.methods,
+            verified,
+            s.methods - verified,
+            s.vcs,
+            s.cache_hits,
+            s.smt_queries,
+            s.skipped_vcs,
+            s.wall.as_secs_f64(),
+            config.jobs,
+        );
+    }
+    if !batch.errors.is_empty() {
+        ExitCode::from(2)
+    } else if batch.all_verified() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn solver_json(j: &mut Json, s: &SolverStats) {
+    j.begin_object();
+    j.num_field("decisions", s.sat_decisions as f64);
+    j.num_field("conflicts", s.sat_conflicts as f64);
+    j.num_field("propagations", s.sat_propagations as f64);
+    j.num_field("theory_rounds", s.theory_rounds as f64);
+    j.num_field("sat_time_s", s.sat_time.as_secs_f64());
+    j.num_field("theory_time_s", s.theory_time.as_secs_f64());
+    j.end_object();
+}
+
+fn to_json(batch: &BatchReport, config: &DriverConfig, command: &str) -> String {
+    let mut j = Json::new();
+    j.begin_object();
+    j.str_field("command", command);
+    j.num_field("jobs", config.jobs as f64);
+    j.key("rows");
+    j.begin_array();
+    for r in &batch.reports {
+        j.begin_object();
+        j.str_field("structure", &r.structure);
+        j.str_field("method", &r.method);
+        j.bool_field("verified", r.outcome.is_verified());
+        if let ids_vcgen::VerifyOutcome::Refuted { failed } = &r.outcome {
+            j.str_field("failed_vc", failed);
+        }
+        j.num_field("vcs", r.num_vcs as f64);
+        j.num_field("cached_vcs", r.cached_vcs as f64);
+        j.num_field("time_s", r.duration.as_secs_f64());
+        j.num_field("loc", r.loc as f64);
+        j.num_field("spec", r.spec as f64);
+        j.num_field("annotations", r.annotations as f64);
+        j.num_field("lc_size", r.lc_size as f64);
+        j.key("solver");
+        solver_json(&mut j, &r.solver);
+        j.end_object();
+    }
+    j.end_array();
+    j.key("errors");
+    j.begin_array();
+    for e in &batch.errors {
+        j.begin_object();
+        j.str_field("structure", &e.structure);
+        j.str_field("method", &e.method);
+        j.str_field("message", &e.message);
+        j.end_object();
+    }
+    j.end_array();
+    j.key("stats");
+    j.begin_object();
+    j.num_field("methods", batch.stats.methods as f64);
+    j.num_field("vcs", batch.stats.vcs as f64);
+    j.num_field("cache_hits", batch.stats.cache_hits as f64);
+    j.num_field("smt_queries", batch.stats.smt_queries as f64);
+    j.num_field("skipped_vcs", batch.stats.skipped_vcs as f64);
+    j.num_field("wall_s", batch.stats.wall.as_secs_f64());
+    j.key("solver");
+    solver_json(&mut j, &batch.stats.solver);
+    j.end_object();
+    j.end_object();
+    j.finish()
+}

@@ -1,0 +1,197 @@
+//! The persistent, content-addressed VC result cache.
+//!
+//! Solved verification conditions are keyed by the stable 128-bit structural
+//! hash of their formula (see [`ids_smt::hash`]), salted with the encoding
+//! mode, and mapped to their verdict. Within a batch the cache deduplicates
+//! identical VCs across methods; persisted to disk it makes re-runs
+//! incremental — an unchanged suite discharges zero new SMT queries.
+//!
+//! # On-disk format
+//!
+//! A deliberately hand-rolled, line-oriented text format (the build
+//! environment has no serialization crates):
+//!
+//! ```text
+//! ids-vc-cache v1
+//! 00731f95c3a1be8e55f20ac7135a4d22 V
+//! 2b9e0d4c81f6a3570c44de9a0b6f1e88 R
+//! ```
+//!
+//! Line 1 is a magic+version header; every following line is the
+//! zero-padded lowercase hex key and a verdict letter (`V`alid /
+//! `R`efuted). Undecided VCs are never cached (they should be re-attempted).
+//! A file with an unknown header or a malformed line is ignored wholesale —
+//! a cache is always safe to delete or truncate.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+use ids_core::pipeline::VcVerdict;
+
+/// The file header identifying format and version.
+const HEADER: &str = "ids-vc-cache v1";
+
+/// An in-memory VC verdict cache with optional on-disk persistence.
+#[derive(Clone, Debug, Default)]
+pub struct VcCache {
+    entries: HashMap<u128, VcVerdict>,
+    dirty: bool,
+}
+
+impl VcCache {
+    /// Creates an empty cache.
+    pub fn new() -> VcCache {
+        VcCache::default()
+    }
+
+    /// Loads a cache file. A missing file yields an empty cache; a file with
+    /// an unrecognized header or malformed entries is ignored (treated as
+    /// empty) rather than failing the run.
+    pub fn load(path: &Path) -> io::Result<VcCache> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(VcCache::new()),
+            Err(e) => return Err(e),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Ok(VcCache::new());
+        }
+        let mut entries = HashMap::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key_hex, verdict)) = line.split_once(' ') else {
+                return Ok(VcCache::new());
+            };
+            let Ok(key) = u128::from_str_radix(key_hex, 16) else {
+                return Ok(VcCache::new());
+            };
+            let verdict = match verdict {
+                "V" => VcVerdict::Valid,
+                "R" => VcVerdict::Refuted,
+                _ => return Ok(VcCache::new()),
+            };
+            entries.insert(key, verdict);
+        }
+        Ok(VcCache {
+            entries,
+            dirty: false,
+        })
+    }
+
+    /// Writes the cache to disk (sorted, so the file is deterministic for a
+    /// given content) and clears the dirty flag.
+    pub fn save(&mut self, path: &Path) -> io::Result<()> {
+        let mut keys: Vec<&u128> = self.entries.keys().collect();
+        keys.sort();
+        let mut out = String::with_capacity(16 + keys.len() * 35);
+        out.push_str(HEADER);
+        out.push('\n');
+        for k in keys {
+            let letter = match self.entries[k] {
+                VcVerdict::Valid => 'V',
+                VcVerdict::Refuted => 'R',
+                VcVerdict::Unknown => continue,
+            };
+            out.push_str(&format!("{:032x} {}\n", k, letter));
+        }
+        std::fs::write(path, out)?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Looks up a verdict.
+    pub fn get(&self, key: u128) -> Option<VcVerdict> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Records a verdict. `Unknown` verdicts are not cached.
+    pub fn insert(&mut self, key: u128, verdict: VcVerdict) {
+        if verdict == VcVerdict::Unknown {
+            return;
+        }
+        if self.entries.insert(key, verdict) != Some(verdict) {
+            self.dirty = true;
+        }
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if the cache changed since it was loaded/saved.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ids-vc-cache-test-{}-{}", std::process::id(), tag))
+    }
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let path = temp_path("roundtrip");
+        let mut cache = VcCache::new();
+        cache.insert(42, VcVerdict::Valid);
+        cache.insert(
+            0xdead_beef_dead_beef_dead_beef_dead_beef,
+            VcVerdict::Refuted,
+        );
+        cache.insert(7, VcVerdict::Unknown); // dropped
+        assert!(cache.is_dirty());
+        cache.save(&path).unwrap();
+        assert!(!cache.is_dirty());
+
+        let loaded = VcCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(42), Some(VcVerdict::Valid));
+        assert_eq!(
+            loaded.get(0xdead_beef_dead_beef_dead_beef_dead_beef),
+            Some(VcVerdict::Refuted)
+        );
+        assert_eq!(loaded.get(7), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let cache = VcCache::load(&temp_path("missing-never-created")).unwrap();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn corrupt_file_is_ignored() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "some other format\n123 V\n").unwrap();
+        assert!(VcCache::load(&path).unwrap().is_empty());
+        std::fs::write(&path, format!("{}\nnot-hex V\n", HEADER)).unwrap();
+        assert!(VcCache::load(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reinserting_same_verdict_keeps_clean() {
+        let path = temp_path("clean");
+        let mut cache = VcCache::new();
+        cache.insert(1, VcVerdict::Valid);
+        cache.save(&path).unwrap();
+        cache.insert(1, VcVerdict::Valid);
+        assert!(!cache.is_dirty(), "identical re-insert must not dirty");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,182 @@
+//! A tiny JSON emitter for the `--json` CLI output.
+//!
+//! The build environment has no serialization crates, so this module provides
+//! just enough: string escaping and a builder for objects/arrays that keeps
+//! the punctuation straight. Output is compact (no pretty-printing) and
+//! emitted in insertion order.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON document (without the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An append-only JSON document builder.
+///
+/// # Example
+/// ```
+/// use ids_driver::json::Json;
+/// let mut j = Json::new();
+/// j.begin_object();
+/// j.str_field("name", "sorted list");
+/// j.num_field("vcs", 12.0);
+/// j.bool_field("verified", true);
+/// j.end_object();
+/// assert_eq!(j.finish(), r#"{"name":"sorted list","vcs":12,"verified":true}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct Json {
+    buf: String,
+    need_comma: Vec<bool>,
+}
+
+impl Json {
+    /// Creates an empty document.
+    pub fn new() -> Json {
+        Json::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.buf.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    /// Opens an object value (`{`).
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.need_comma.push(false);
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        self.need_comma.pop();
+        self.buf.push('}');
+    }
+
+    /// Opens an array value (`[`).
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.need_comma.push(false);
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        self.need_comma.pop();
+        self.buf.push(']');
+    }
+
+    /// Emits the key of a field; must be followed by exactly one value.
+    pub fn key(&mut self, name: &str) {
+        self.pre_value();
+        let _ = write!(self.buf, "\"{}\":", escape(name));
+        // The field's value follows directly, without a comma.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+    }
+
+    /// Emits a string value.
+    pub fn str_value(&mut self, v: &str) {
+        self.pre_value();
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+    }
+
+    /// Emits a numeric value (integers are printed without a fraction).
+    pub fn num_value(&mut self, v: f64) {
+        self.pre_value();
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            let _ = write!(self.buf, "{}", v as i64);
+        } else {
+            let _ = write!(self.buf, "{}", v);
+        }
+    }
+
+    /// Emits a boolean value.
+    pub fn bool_value(&mut self, v: bool) {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Shorthand for a string field.
+    pub fn str_field(&mut self, name: &str, v: &str) {
+        self.key(name);
+        self.str_value(v);
+    }
+
+    /// Shorthand for a numeric field.
+    pub fn num_field(&mut self, name: &str, v: f64) {
+        self.key(name);
+        self.num_value(v);
+    }
+
+    /// Shorthand for a boolean field.
+    pub fn bool_field(&mut self, name: &str, v: bool) {
+        self.key(name);
+        self.bool_value(v);
+    }
+
+    /// Returns the document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn nested_structures() {
+        let mut j = Json::new();
+        j.begin_object();
+        j.key("rows");
+        j.begin_array();
+        for i in 0..2 {
+            j.begin_object();
+            j.num_field("i", f64::from(i));
+            j.end_object();
+        }
+        j.end_array();
+        j.str_field("status", "ok");
+        j.end_object();
+        assert_eq!(j.finish(), r#"{"rows":[{"i":0},{"i":1}],"status":"ok"}"#);
+    }
+
+    #[test]
+    fn float_formatting() {
+        let mut j = Json::new();
+        j.begin_array();
+        j.num_value(1.5);
+        j.num_value(3.0);
+        j.end_array();
+        assert_eq!(j.finish(), "[1.5,3]");
+    }
+}

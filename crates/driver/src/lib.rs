@@ -1,0 +1,530 @@
+//! `ids-driver` — the parallel batch-verification engine.
+//!
+//! The paper's evaluation discharges dozens of methods across 10+ data
+//! structures; verifying them one method and one VC at a time leaves all but
+//! one core idle on what is an embarrassingly parallel workload. This crate
+//! turns a suite into a batch job:
+//!
+//! 1. **Decompose** — every `(structure, method)` pair is prepared into a
+//!    [`MethodTask`] (parse, discipline checks, FWYB expansion, VC
+//!    generation), itself in parallel; every `(task, vc)` pair is then an
+//!    independent SMT query.
+//! 2. **Memoize** — each VC is keyed by the stable structural hash of its
+//!    formula ([`MethodTask::vc_key`]). Identical VCs across the batch are
+//!    solved once, previously solved VCs are answered from a persistent
+//!    [`cache::VcCache`] file, so re-runs are incremental.
+//! 3. **Schedule** — remaining queries go through a channel-fed
+//!    [`pool`] of `std::thread` workers ([`DriverConfig::jobs`] wide). Once a
+//!    method's VC is refuted, its not-yet-started VCs are cancelled — the
+//!    parallel analogue of the sequential pipeline's early stop. A final
+//!    repair pass then fills every VC *before* the first non-valid one, so
+//!    the reported outcome (kind and failing VC alike) is exactly what the
+//!    sequential pipeline reports, regardless of interleaving or cache state.
+//! 4. **Aggregate** — per-VC verdicts fold back into the existing
+//!    [`MethodReport`] / `Table2Row` reporting by scanning results in VC
+//!    order; only VCs past a method's first failure are skipped.
+//!
+//! The `ids-verify` binary is the command-line front end.
+//!
+//! # Example
+//!
+//! (One small method here — doctests build unoptimized, and real suite runs
+//! belong to `ids-verify suite` / the integration tests.)
+//!
+//! ```
+//! use ids_driver::{verify_selections, DriverConfig, Selection};
+//! use ids_structures::lists;
+//!
+//! let ids = lists::singly_linked_list();
+//! let selection = Selection {
+//!     name: "Singly-Linked List",
+//!     definition: &ids,
+//!     methods_src: lists::SINGLY_LINKED_LIST_METHODS,
+//!     methods: vec!["set_key".into()],
+//! };
+//! let report = verify_selections(&[selection], &DriverConfig::default());
+//! assert!(report.all_verified());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod pool;
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ids_core::pipeline::{
+    load_methods, prepare_method_in, MethodReport, MethodTask, PipelineConfig, VcResult,
+};
+use ids_core::IntrinsicDefinition;
+use ids_smt::SolverStats;
+use ids_structures::Benchmark;
+use ids_vcgen::Encoding;
+
+use crate::cache::VcCache;
+
+/// Configuration of a batch run.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Worker threads for both the prepare and the solve stage.
+    pub jobs: usize,
+    /// VC encoding mode.
+    pub encoding: Encoding,
+    /// Optional path of the persistent VC cache; loaded before and saved
+    /// after the batch. `None` still memoizes within the batch, in memory.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            encoding: Encoding::default(),
+            cache_path: None,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// The pipeline configuration used to prepare each method.
+    fn pipeline_config(&self) -> PipelineConfig {
+        PipelineConfig {
+            encoding: self.encoding,
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+/// One structure to verify: a definition, its methods file, and which methods
+/// of it to run.
+pub struct Selection<'a> {
+    /// Structure name (reporting label).
+    pub name: &'a str,
+    /// The intrinsic definition.
+    pub definition: &'a IntrinsicDefinition,
+    /// IVL source of the annotated methods.
+    pub methods_src: &'a str,
+    /// Methods to verify, in report order.
+    pub methods: Vec<String>,
+}
+
+impl<'a> Selection<'a> {
+    /// Every method of a benchmark.
+    pub fn from_benchmark(b: &'a Benchmark) -> Selection<'a> {
+        Selection {
+            name: b.name,
+            definition: &b.definition,
+            methods_src: b.methods_src,
+            methods: b.methods.clone(),
+        }
+    }
+
+    /// A subset of a benchmark's methods.
+    pub fn methods_of(b: &'a Benchmark, methods: &[&str]) -> Selection<'a> {
+        Selection {
+            methods: methods.iter().map(|m| m.to_string()).collect(),
+            ..Selection::from_benchmark(b)
+        }
+    }
+}
+
+/// A non-verdict failure (parse/type/expansion error) of one batch unit.
+#[derive(Clone, Debug)]
+pub struct BatchError {
+    /// Structure the failure belongs to.
+    pub structure: String,
+    /// Method, or `"*"` when the whole structure failed to load.
+    pub method: String,
+    /// Human-readable error.
+    pub message: String,
+}
+
+/// Aggregate statistics of a batch run.
+#[derive(Clone, Debug, Default)]
+pub struct DriverStats {
+    /// Methods verified.
+    pub methods: usize,
+    /// Total VCs across all methods.
+    pub vcs: usize,
+    /// VCs answered from the cache (on-disk hits plus in-batch duplicates).
+    pub cache_hits: usize,
+    /// Fresh SMT queries actually discharged.
+    pub smt_queries: usize,
+    /// VCs skipped because their method was already refuted (the parallel
+    /// analogue of the sequential pipeline's early stop).
+    pub skipped_vcs: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Merged solver statistics over all fresh queries.
+    pub solver: SolverStats,
+}
+
+/// The result of a batch run.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Per-method reports, in selection order.
+    pub reports: Vec<MethodReport>,
+    /// Units that failed before reaching the solver.
+    pub errors: Vec<BatchError>,
+    /// Aggregate statistics.
+    pub stats: DriverStats,
+}
+
+impl BatchReport {
+    /// True if nothing errored and every method verified.
+    pub fn all_verified(&self) -> bool {
+        self.errors.is_empty() && self.reports.iter().all(|r| r.outcome.is_verified())
+    }
+}
+
+/// Verifies every method of every benchmark (the full Table-2 run).
+pub fn verify_suite(benchmarks: &[Benchmark], config: &DriverConfig) -> BatchReport {
+    let selections: Vec<Selection> = benchmarks.iter().map(Selection::from_benchmark).collect();
+    verify_selections(&selections, config)
+}
+
+/// Verifies the given selections through the parallel engine.
+pub fn verify_selections(selections: &[Selection], config: &DriverConfig) -> BatchReport {
+    let start = Instant::now();
+    let mut errors = Vec::new();
+
+    // ---------------------------------------------------------- load stage
+    // Parse + typecheck each methods file once per structure (cheap, serial).
+    let mut loaded: Vec<(&Selection, ids_ivl::Program)> = Vec::new();
+    for sel in selections {
+        match load_methods(sel.definition, sel.methods_src) {
+            Ok(merged) => loaded.push((sel, merged)),
+            Err(e) => errors.push(BatchError {
+                structure: sel.name.to_string(),
+                method: "*".to_string(),
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    // ------------------------------------------------------- prepare stage
+    // One job per (structure, method): expansion + VC generation in parallel.
+    struct PrepJob<'a> {
+        sel: &'a Selection<'a>,
+        merged: &'a ids_ivl::Program,
+        method: &'a str,
+    }
+    let prep_jobs: Vec<PrepJob> = loaded
+        .iter()
+        .flat_map(|(sel, merged)| {
+            sel.methods.iter().map(move |m| PrepJob {
+                sel,
+                merged,
+                method: m,
+            })
+        })
+        .collect();
+    let pipeline_config = config.pipeline_config();
+    let prepared = pool::run(config.jobs, prep_jobs, |job| {
+        prepare_method_in(job.sel.definition, job.merged, job.method, pipeline_config).map_err(
+            |e| BatchError {
+                structure: job.sel.name.to_string(),
+                method: job.method.to_string(),
+                message: e.to_string(),
+            },
+        )
+    });
+    let mut tasks = Vec::new();
+    for res in prepared {
+        match res {
+            Ok(task) => tasks.push(task),
+            Err(e) => errors.push(e),
+        }
+    }
+
+    let mut report = verify_tasks(tasks, config);
+    report.errors.extend(errors);
+    report.stats.wall = start.elapsed();
+    report
+}
+
+/// Discharges already-prepared tasks through the cache and the worker pool.
+///
+/// This is the lowest-level entry point; `ids-verify verify <file>` uses it
+/// with tasks built by [`ids_core::pipeline::prepare_plain`].
+pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchReport {
+    let start = Instant::now();
+    let mut cache = match &config.cache_path {
+        Some(path) => VcCache::load(path).unwrap_or_else(|e| {
+            eprintln!("warning: could not read cache {}: {}", path.display(), e);
+            VcCache::new()
+        }),
+        None => VcCache::new(),
+    };
+
+    // ------------------------------------------------------- resolve stage
+    // Hash every VC; answer what the cache already knows; group the rest by
+    // key so identical formulas across the batch are solved exactly once.
+    let mut results: Vec<Vec<Option<VcResult>>> =
+        tasks.iter().map(|t| vec![None; t.num_vcs()]).collect();
+    let mut cache_hits = 0usize;
+    let mut smt_queries = 0usize;
+    // BTreeMap: deterministic job order regardless of hash values.
+    let mut pending: BTreeMap<u128, Vec<(usize, usize)>> = BTreeMap::new();
+    // Tasks with a known-refuted VC: their remaining VCs are skipped, the
+    // parallel analogue of the sequential early stop. Seeded from the cache,
+    // extended concurrently by workers as refutations come in.
+    let mut refuted_tasks: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    // Hash every VC once; the resolve and repair passes share the keys
+    // (structural hashing walks the whole formula DAG — not free).
+    let keys: Vec<Vec<u128>> = tasks
+        .iter()
+        .map(|t| (0..t.num_vcs()).map(|vi| t.vc_key(vi)).collect())
+        .collect();
+    for (ti, slots) in results.iter_mut().enumerate() {
+        for (vi, slot) in slots.iter_mut().enumerate() {
+            let key = keys[ti][vi];
+            if let Some(verdict) = cache.get(key) {
+                *slot = Some(VcResult::from_cache(vi, verdict));
+                cache_hits += 1;
+                if verdict == ids_core::pipeline::VcVerdict::Refuted {
+                    refuted_tasks.insert(ti);
+                }
+            } else {
+                pending.entry(key).or_default().push((ti, vi));
+            }
+        }
+    }
+
+    // --------------------------------------------------------- solve stage
+    // Each pending key is solved at one "primary" site — preferably one whose
+    // method is not already refuted, so a cancellation cannot starve a
+    // sibling method that shares the formula.
+    let jobs: Vec<(u128, usize, usize)> = pending
+        .iter()
+        .filter_map(|(&key, sites)| {
+            sites
+                .iter()
+                .find(|(ti, _)| !refuted_tasks.contains(ti))
+                .or_else(|| sites.first())
+                .map(|&(ti, vi)| (key, ti, vi))
+        })
+        .collect();
+    let tasks_ref = &tasks;
+    let cancelled = std::sync::Mutex::new(refuted_tasks);
+    let cancelled_ref = &cancelled;
+    let solved = pool::run(config.jobs, jobs, move |(key, ti, vi)| {
+        if cancelled_ref.lock().expect("cancel set").contains(&ti) {
+            return (key, ti, vi, None);
+        }
+        let result = tasks_ref[ti].check_vc(vi);
+        if result.verdict == ids_core::pipeline::VcVerdict::Refuted {
+            cancelled_ref.lock().expect("cancel set").insert(ti);
+        }
+        (key, ti, vi, Some(result))
+    });
+    drop(cancelled);
+    for (key, ti, vi, result) in solved {
+        let Some(result) = result else { continue };
+        smt_queries += 1;
+        cache.insert(key, result.verdict);
+        // The solving site keeps the real stats; duplicates across the batch
+        // are answered as cache hits.
+        for &(sti, svi) in &pending[&key] {
+            if (sti, svi) == (ti, vi) {
+                results[sti][svi] = Some(VcResult {
+                    vc_index: svi,
+                    ..result.clone()
+                });
+            } else {
+                results[sti][svi] = Some(VcResult::from_cache(svi, result.verdict));
+                cache_hits += 1;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- repair pass
+    // Walk every method's VCs in order and fill any slot the parallel stage
+    // left unsolved (a cancelled primary site, or a sibling's duplicate whose
+    // solver was skipped), stopping at the first non-valid result. This
+    // restores the exact sequential semantics: the reported outcome — kind
+    // *and* failing VC — is the first non-valid VC in VC order, with every VC
+    // before it discharged, no matter how the concurrent stage interleaved or
+    // what the cache already knew. VCs after that boundary stay unsolved
+    // (`skipped_vcs`), the early-stop saving.
+    for (ti, (task, slots)) in tasks.iter().zip(results.iter_mut()).enumerate() {
+        for (vi, slot) in slots.iter_mut().enumerate() {
+            if let Some(present) = slot {
+                if present.verdict != ids_core::pipeline::VcVerdict::Valid {
+                    break;
+                }
+                continue;
+            }
+            let key = keys[ti][vi];
+            let result = if let Some(verdict) = cache.get(key) {
+                cache_hits += 1;
+                VcResult::from_cache(vi, verdict)
+            } else {
+                let result = task.check_vc(vi);
+                smt_queries += 1;
+                cache.insert(key, result.verdict);
+                result
+            };
+            let stop = result.verdict != ids_core::pipeline::VcVerdict::Valid;
+            *slot = Some(result);
+            if stop {
+                break;
+            }
+        }
+    }
+
+    if let (Some(path), true) = (&config.cache_path, cache.is_dirty()) {
+        if let Err(e) = cache.save(path) {
+            eprintln!("warning: could not write cache {}: {}", path.display(), e);
+        }
+    }
+
+    // ----------------------------------------------------- aggregate stage
+    let mut stats = DriverStats {
+        smt_queries,
+        cache_hits,
+        ..DriverStats::default()
+    };
+    let mut reports = Vec::with_capacity(tasks.len());
+    for (task, vc_results) in tasks.iter().zip(results) {
+        // Missing entries are VCs skipped after their method was refuted;
+        // `MethodTask::report` scans what is present in VC order, exactly as
+        // it does for a sequential early stop.
+        let vc_results: Vec<VcResult> = vc_results.into_iter().flatten().collect();
+        stats.skipped_vcs += task.num_vcs() - vc_results.len();
+        let report = task.report(&vc_results);
+        stats.methods += 1;
+        stats.vcs += report.num_vcs;
+        stats.solver.merge(&report.solver);
+        reports.push(report);
+    }
+    stats.wall = start.elapsed();
+
+    BatchReport {
+        reports,
+        errors: Vec::new(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_structures::lists;
+
+    fn sll_selection(b: &Benchmark) -> Selection<'_> {
+        Selection::methods_of(b, &["set_key", "delete_front"])
+    }
+
+    #[test]
+    fn batch_matches_sequential_verdicts() {
+        let bench = ids_structures::Benchmark {
+            name: "Singly-Linked List",
+            definition: lists::singly_linked_list(),
+            methods_src: lists::SINGLY_LINKED_LIST_METHODS,
+            methods: vec![],
+        };
+        let sel = vec![sll_selection(&bench)];
+        let batch = verify_selections(&sel, &DriverConfig::default());
+        assert!(batch.errors.is_empty(), "{:?}", batch.errors);
+        assert_eq!(batch.reports.len(), 2);
+
+        let merged = load_methods(&bench.definition, bench.methods_src).unwrap();
+        for report in &batch.reports {
+            let seq = ids_core::pipeline::verify_method_in(
+                &bench.definition,
+                &merged,
+                &report.method,
+                PipelineConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                report.outcome.is_verified(),
+                seq.outcome.is_verified(),
+                "{} diverged",
+                report.method
+            );
+            assert_eq!(report.num_vcs, seq.num_vcs, "{} vc count", report.method);
+        }
+    }
+
+    #[test]
+    fn in_memory_memoization_dedupes_identical_vcs() {
+        let b = ids_structures::Benchmark {
+            name: "Singly-Linked List",
+            definition: lists::singly_linked_list(),
+            methods_src: lists::SINGLY_LINKED_LIST_METHODS,
+            methods: vec![],
+        };
+        // The same method twice in one batch: the second copy's VCs are
+        // byte-identical, so they must all be deduplicated.
+        let sel = vec![
+            Selection::methods_of(&b, &["set_key"]),
+            Selection::methods_of(&b, &["set_key"]),
+        ];
+        let batch = verify_selections(&sel, &DriverConfig::default());
+        assert!(batch.all_verified(), "{:?}", batch.errors);
+        let per_method_vcs = batch.reports[0].num_vcs;
+        assert_eq!(batch.stats.vcs, 2 * per_method_vcs);
+        assert_eq!(batch.stats.smt_queries, per_method_vcs);
+        assert_eq!(batch.stats.cache_hits, per_method_vcs);
+        assert_eq!(batch.reports[1].cached_vcs, per_method_vcs);
+    }
+
+    #[test]
+    fn cached_refutation_skips_the_rest_of_the_method() {
+        let cache =
+            std::env::temp_dir().join(format!("ids-driver-cancel-{}.cache", std::process::id()));
+        std::fs::remove_file(&cache).ok();
+        let b = ids_structures::Benchmark {
+            name: "Singly-Linked List (buggy)",
+            definition: lists::singly_linked_list(),
+            methods_src: ids_structures::buggy::BUGGY_LIST_METHODS,
+            methods: vec![],
+        };
+        let sel = vec![Selection::methods_of(&b, &["leaves_broken_set_nonempty"])];
+        let config = DriverConfig {
+            jobs: 2,
+            cache_path: Some(cache.clone()),
+            ..DriverConfig::default()
+        };
+        let cold = verify_selections(&sel, &config);
+        assert!(!cold.reports[0].outcome.is_verified());
+        assert!(cold.stats.smt_queries > 0);
+
+        // The cache now holds a refuted VC for this method: the re-run skips
+        // everything that was never solved instead of solving it now.
+        let warm = verify_selections(&sel, &config);
+        assert!(!warm.reports[0].outcome.is_verified());
+        assert_eq!(
+            warm.stats.smt_queries, 0,
+            "a cached refutation must cancel the method's remaining VCs"
+        );
+        assert_eq!(
+            warm.stats.cache_hits + warm.stats.skipped_vcs,
+            warm.stats.vcs
+        );
+        std::fs::remove_file(&cache).ok();
+    }
+
+    #[test]
+    fn load_errors_are_reported_not_panicked() {
+        let b = ids_structures::Benchmark {
+            name: "Broken",
+            definition: lists::singly_linked_list(),
+            methods_src: "procedure oops( {",
+            methods: vec!["oops".into()],
+        };
+        let sel = vec![Selection::from_benchmark(&b)];
+        let batch = verify_selections(&sel, &DriverConfig::default());
+        assert!(batch.reports.is_empty());
+        assert_eq!(batch.errors.len(), 1);
+        assert_eq!(batch.errors[0].method, "*");
+    }
+}

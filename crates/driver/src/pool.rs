@@ -1,0 +1,100 @@
+//! A minimal channel-fed worker pool over scoped `std::thread`s.
+//!
+//! Jobs are pushed into an `mpsc` channel up front; each worker repeatedly
+//! pops the next job from the shared receiver (a `Mutex` makes the
+//! single-consumer receiver multi-consumer) and sends its tagged result back.
+//! This is deliberately a *work queue*, not a static partition: SMT query
+//! times vary by orders of magnitude across VCs, so dynamic stealing from a
+//! shared queue is what makes the batch finish in (roughly) the time of the
+//! longest single query rather than the unluckiest partition.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Runs `f` over every item on `jobs` worker threads fed by a shared channel
+/// queue; returns the results in input order.
+///
+/// With `jobs <= 1` the items are processed inline on the calling thread (no
+/// thread or channel overhead), which is also the mode the driver's
+/// sequential-vs-parallel comparisons use as a baseline.
+///
+/// # Panics
+/// Propagates panics from worker threads (via scope join).
+pub fn run<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let workers = jobs.min(n);
+    let (job_tx, job_rx) = mpsc::channel::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        job_tx.send(pair).expect("queue open");
+    }
+    drop(job_tx); // workers drain until the queue is empty
+    let job_rx = Mutex::new(job_rx);
+    let (res_tx, res_rx) = mpsc::channel::<(usize, R)>();
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let res_tx = res_tx.clone();
+            let job_rx = &job_rx;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Hold the lock only while popping, not while working.
+                let job = job_rx.lock().expect("queue lock").recv();
+                match job {
+                    Ok((i, item)) => {
+                        if res_tx.send((i, f(item))).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return, // queue drained
+                }
+            });
+        }
+        drop(res_tx);
+        for (i, r) in res_rx.iter() {
+            out[i] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker delivered result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = run(4, items.clone(), |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let out = run(1, vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = run(16, vec![5, 6], |x| x);
+        assert_eq!(out, vec![5, 6]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = run(4, Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Direct unit tests of `ids-heap`'s expression evaluator: set-operation
+//! semantics and the panicking error paths (`nil` dereference, unbound
+//! variables, type confusion) that the property tests never exercise.
+
+use std::collections::BTreeMap;
+
+use ids_heap::{check_local_condition, eval_expr, Heap, Type, Value};
+use ids_ivl::parse_expr;
+
+fn env_with(x: Value) -> BTreeMap<String, Value> {
+    let mut env = BTreeMap::new();
+    env.insert("x".to_string(), x);
+    env
+}
+
+fn int_set_heap(s1: &[i64], s2: &[i64]) -> (Heap, BTreeMap<String, Value>) {
+    let mut heap = Heap::new();
+    let o = heap.alloc(&[("s1", Type::SetInt), ("s2", Type::SetInt)]);
+    heap.set(o, "s1", Value::SetInt(s1.to_vec()));
+    heap.set(o, "s2", Value::SetInt(s2.to_vec()));
+    (heap, env_with(Value::Loc(Some(o))))
+}
+
+// ------------------------------------------------------------ set operations
+
+#[test]
+fn union_inter_diff_on_int_sets() {
+    let (heap, env) = int_set_heap(&[1, 2, 3], &[3, 4]);
+    for (src, expected) in [
+        ("union(x.s1, x.s2)", vec![1, 2, 3, 4]),
+        ("inter(x.s1, x.s2)", vec![3]),
+        ("diff(x.s1, x.s2)", vec![1, 2]),
+        ("diff(x.s2, x.s1)", vec![4]),
+    ] {
+        let e = parse_expr(src).unwrap();
+        assert_eq!(
+            eval_expr(&heap, &env, &e),
+            Value::SetInt(expected),
+            "{}",
+            src
+        );
+    }
+}
+
+#[test]
+fn set_equality_ignores_order_and_duplicates() {
+    let (heap, env) = int_set_heap(&[3, 1, 1, 2], &[2, 3, 1]);
+    let e = parse_expr("x.s1 == x.s2").unwrap();
+    assert_eq!(eval_expr(&heap, &env, &e), Value::Bool(true));
+    let e = parse_expr("x.s1 != union(x.s2, {9})").unwrap();
+    assert_eq!(eval_expr(&heap, &env, &e), Value::Bool(true));
+}
+
+#[test]
+fn membership_and_subset() {
+    let (heap, env) = int_set_heap(&[1, 2], &[1, 2, 3]);
+    let e = parse_expr("x.s1 subset x.s2 && !(x.s2 subset x.s1)").unwrap();
+    assert_eq!(eval_expr(&heap, &env, &e), Value::Bool(true));
+    let e = parse_expr("2 in x.s1 && !(3 in x.s1)").unwrap();
+    assert_eq!(eval_expr(&heap, &env, &e), Value::Bool(true));
+}
+
+#[test]
+fn loc_set_operations() {
+    let mut heap = Heap::new();
+    let a = heap.alloc(&[("peers", Type::SetLoc)]);
+    let b = heap.alloc(&[("peers", Type::SetLoc)]);
+    heap.set(a, "peers", Value::SetLoc(vec![a, b]));
+    let env = env_with(Value::Loc(Some(a)));
+    let e = parse_expr("x in x.peers").unwrap();
+    assert_eq!(eval_expr(&heap, &env, &e), Value::Bool(true));
+    let e = parse_expr("diff(x.peers, {x}) != x.peers").unwrap();
+    assert_eq!(eval_expr(&heap, &env, &e), Value::Bool(true));
+}
+
+#[test]
+fn nil_singleton_is_empty() {
+    // {nil} contributes no location: the paper's sets range over objects.
+    let heap = Heap::new();
+    let env = env_with(Value::Loc(None));
+    let e = parse_expr("{x} == {}").unwrap();
+    assert_eq!(eval_expr(&heap, &env, &e), Value::Bool(true));
+}
+
+#[test]
+fn membership_of_nil_is_false() {
+    let mut heap = Heap::new();
+    let a = heap.alloc(&[("peers", Type::SetLoc)]);
+    heap.set(a, "peers", Value::SetLoc(vec![a]));
+    let mut env = env_with(Value::Loc(Some(a)));
+    env.insert("n".to_string(), Value::Loc(None));
+    let e = parse_expr("n in x.peers").unwrap();
+    assert_eq!(eval_expr(&heap, &env, &e), Value::Bool(false));
+}
+
+// ----------------------------------------------------------- short-circuiting
+
+#[test]
+fn implication_guard_prevents_nil_dereference() {
+    // The canonical LC shape: a nil guard must protect the dereference.
+    let mut heap = Heap::new();
+    let o = heap.alloc(&[("next", Type::Loc), ("length", Type::Int)]);
+    heap.set(o, "length", Value::Int(1));
+    let e = parse_expr("x.next != nil ==> x.next.length >= 0").unwrap();
+    assert!(check_local_condition(&heap, &e, o));
+}
+
+// ------------------------------------------------------------- error paths
+
+#[test]
+#[should_panic(expected = "nil dereference")]
+fn dereferencing_nil_panics() {
+    let heap = Heap::new();
+    let env = env_with(Value::Loc(None));
+    let e = parse_expr("x.next == nil").unwrap();
+    eval_expr(&heap, &env, &e);
+}
+
+#[test]
+#[should_panic(expected = "nil dereference")]
+fn unguarded_two_hop_dereference_panics() {
+    // x.next is nil on the last node: x.next.length must panic.
+    let mut heap = Heap::new();
+    let o = heap.alloc(&[("next", Type::Loc), ("length", Type::Int)]);
+    let env = env_with(Value::Loc(Some(o)));
+    let e = parse_expr("x.next.length == 1").unwrap();
+    eval_expr(&heap, &env, &e);
+}
+
+#[test]
+#[should_panic(expected = "unbound variable")]
+fn unbound_variable_panics() {
+    let heap = Heap::new();
+    let e = parse_expr("y == nil").unwrap();
+    eval_expr(&heap, &BTreeMap::new(), &e);
+}
+
+#[test]
+#[should_panic(expected = "expected a boolean")]
+fn type_confusion_panics() {
+    let heap = Heap::new();
+    let env = env_with(Value::Int(3));
+    let e = parse_expr("x && x").unwrap();
+    eval_expr(&heap, &env, &e);
+}
+
+#[test]
+#[should_panic(expected = "bad membership")]
+fn membership_in_non_set_panics() {
+    let (heap, mut env) = int_set_heap(&[], &[]);
+    env.insert("k".to_string(), Value::Int(1));
+    let e = parse_expr("k in k").unwrap();
+    // `k in k` typechecks nowhere, but the evaluator is untyped: it must
+    // reject the shape at runtime rather than produce a value.
+    eval_expr(&heap, &env, &e);
+}
+
+// --------------------------------------------------- local-condition checking
+
+#[test]
+fn check_local_condition_flags_only_broken_objects() {
+    let mut heap = Heap::new();
+    let a = heap.alloc(&[("next", Type::Loc), ("length", Type::Int)]);
+    let b = heap.alloc(&[("next", Type::Loc), ("length", Type::Int)]);
+    heap.set(a, "next", Value::Loc(Some(b)));
+    heap.set(a, "length", Value::Int(2));
+    heap.set(b, "length", Value::Int(1));
+    let lc = parse_expr(
+        "(x.next != nil ==> x.length == x.next.length + 1) \
+         && (x.next == nil ==> x.length == 1)",
+    )
+    .unwrap();
+    assert!(check_local_condition(&heap, &lc, a));
+    assert!(check_local_condition(&heap, &lc, b));
+    // Break a: wrong measure.
+    heap.set(a, "length", Value::Int(7));
+    assert!(!check_local_condition(&heap, &lc, a));
+    assert!(check_local_condition(&heap, &lc, b), "b must stay intact");
+}

@@ -47,6 +47,7 @@
 
 pub mod cnf;
 pub mod euf;
+pub mod hash;
 pub mod lower;
 pub mod model;
 pub mod quant;
@@ -58,6 +59,7 @@ pub mod solver;
 pub mod term;
 pub mod theory;
 
+pub use hash::structural_hash;
 pub use model::Model;
 pub use rational::Rat;
 pub use sat::SatResult;

@@ -62,6 +62,8 @@ pub struct SolverStats {
     pub sat_conflicts: u64,
     /// SAT decisions.
     pub sat_decisions: u64,
+    /// SAT unit propagations.
+    pub sat_propagations: u64,
     /// Number of clauses after CNF conversion (before learning).
     pub initial_clauses: u64,
     /// Number of theory atoms.
@@ -70,6 +72,21 @@ pub struct SolverStats {
     pub sat_time: std::time::Duration,
     /// Wall-clock time spent inside the theory checker.
     pub theory_time: std::time::Duration,
+}
+
+impl SolverStats {
+    /// Accumulates another stats record into this one (used to aggregate the
+    /// statistics of the many solver calls discharging one method's VCs).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.theory_rounds += other.theory_rounds;
+        self.sat_conflicts += other.sat_conflicts;
+        self.sat_decisions += other.sat_decisions;
+        self.sat_propagations += other.sat_propagations;
+        self.initial_clauses += other.initial_clauses;
+        self.atoms += other.atoms;
+        self.sat_time += other.sat_time;
+        self.theory_time += other.theory_time;
+    }
 }
 
 /// The SMT solver facade.
@@ -169,11 +186,13 @@ impl Solver {
             self.stats.sat_time += sat_start.elapsed();
             match sat_result {
                 SatResult::Unsat => {
-                    self.stats.sat_conflicts = sat.conflicts;
-                    self.stats.sat_decisions = sat.decisions;
+                    self.snapshot_sat(&sat);
                     return SatResult::Unsat;
                 }
-                SatResult::Unknown => return SatResult::Unknown,
+                SatResult::Unknown => {
+                    self.snapshot_sat(&sat);
+                    return SatResult::Unknown;
+                }
                 SatResult::Sat => {}
             }
             let literals = atom_map.model_literals(&sat);
@@ -182,8 +201,7 @@ impl Solver {
             self.stats.theory_time += theory_start.elapsed();
             match theory_result {
                 TheoryCheck::Consistent => {
-                    self.stats.sat_conflicts = sat.conflicts;
-                    self.stats.sat_decisions = sat.decisions;
+                    self.snapshot_sat(&sat);
                     self.model = Some(Model::new(literals));
                     // Positive-forall instantiation is incomplete: a model of
                     // the instances is not necessarily a model of the original
@@ -204,6 +222,7 @@ impl Solver {
                             );
                         }
                     }
+                    self.snapshot_sat(&sat);
                     return SatResult::Unknown;
                 }
                 TheoryCheck::Conflict(indices) => {
@@ -219,6 +238,7 @@ impl Solver {
                     if clause.is_empty() {
                         // Theories rejected the empty set: the axioms alone
                         // are inconsistent — impossible, but be safe.
+                        self.snapshot_sat(&sat);
                         return SatResult::Unsat;
                     }
                     let clause_ok = if self.config.incremental_sat {
@@ -227,14 +247,22 @@ impl Solver {
                         sat.add_clause(clause)
                     };
                     if !clause_ok {
-                        self.stats.sat_conflicts = sat.conflicts;
-                        self.stats.sat_decisions = sat.decisions;
+                        self.snapshot_sat(&sat);
                         return SatResult::Unsat;
                     }
                 }
             }
         }
+        // Theory-round budget exhausted.
+        self.snapshot_sat(&sat);
         SatResult::Unknown
+    }
+
+    /// Copies the SAT core's counters into the stats record.
+    fn snapshot_sat(&mut self, sat: &SatSolver) {
+        self.stats.sat_conflicts = sat.conflicts;
+        self.stats.sat_decisions = sat.decisions;
+        self.stats.sat_propagations = sat.propagations;
     }
 
     /// Convenience wrapper: checks whether `formula` is valid (its negation is
@@ -270,6 +298,38 @@ mod tests {
         let a3 = tm.eq(len_nx, four);
         let mut s = Solver::new();
         assert_eq!(s.check(&mut tm, &[a1, a2, a3]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn stats_are_populated_after_check() {
+        // A query that needs decisions, propagations and a theory round:
+        // (p -> x <= 0) && (!p -> x <= 1) && x >= 5 : unsat.
+        let mut tm = TermManager::new();
+        let p = tm.var("p", Sort::Bool);
+        let x = tm.var("x", Sort::Int);
+        let zero = tm.int(0);
+        let one = tm.int(1);
+        let five = tm.int(5);
+        let le0 = tm.le(x, zero);
+        let le1 = tm.le(x, one);
+        let np = tm.not(p);
+        let c1 = tm.implies(p, le0);
+        let c2 = tm.implies(np, le1);
+        let c3 = tm.ge(x, five);
+        let mut s = Solver::new();
+        assert_eq!(s.check(&mut tm, &[c1, c2, c3]), SatResult::Unsat);
+        let stats = s.stats();
+        assert!(stats.theory_rounds > 0, "{:?}", stats);
+        assert!(stats.sat_propagations > 0, "{:?}", stats);
+        assert!(stats.atoms > 0, "{:?}", stats);
+        assert!(stats.initial_clauses > 0, "{:?}", stats);
+
+        // merge() accumulates every counter.
+        let mut acc = SolverStats::default();
+        acc.merge(&stats);
+        acc.merge(&stats);
+        assert_eq!(acc.sat_propagations, 2 * stats.sat_propagations);
+        assert_eq!(acc.theory_rounds, 2 * stats.theory_rounds);
     }
 
     #[test]

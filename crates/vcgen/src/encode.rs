@@ -1,6 +1,6 @@
 //! Encoding of IVL expressions into SMT terms over the heap-as-maps model.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ids_ivl::{BinOp, Expr, Program, Type, UnOp};
 use ids_smt::{Rat, Sort, TermId, TermManager};
@@ -33,12 +33,18 @@ pub fn default_value(tm: &mut TermManager, t: Type) -> TermId {
 
 /// A symbolic state: the current SMT term for every program variable and for
 /// every field map.
+///
+/// The maps are `BTreeMap`s on purpose: symbolic execution iterates over them
+/// (call framing, branch joins), and a deterministic iteration order makes VC
+/// generation reproducible run to run — which the driver's persistent VC cache
+/// relies on (the structural hash of a VC must not depend on the order fresh
+/// variables were numbered in).
 #[derive(Clone, Debug, Default)]
 pub struct Env {
     /// Program variables (including the implicit ghost sets `Br`, `Alloc`).
-    pub vars: HashMap<String, TermId>,
+    pub vars: BTreeMap<String, TermId>,
     /// Field maps, keyed by field name.
-    pub fields: HashMap<String, TermId>,
+    pub fields: BTreeMap<String, TermId>,
 }
 
 /// Encodes an expression in the given state.

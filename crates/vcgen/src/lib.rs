@@ -33,10 +33,35 @@ pub mod engine;
 pub mod qfcheck;
 
 use ids_ivl::Program;
-use ids_smt::{SatResult, Solver, SolverConfig, TermId, TermManager};
+use ids_smt::{SatResult, Solver, SolverConfig, SolverStats, TermId, TermManager};
 
 pub use encode::sort_of_type;
 pub use qfcheck::{theory_profile, TheoryProfile};
+
+/// The solver configuration matching an encoding mode.
+pub fn solver_config(encoding: Encoding) -> SolverConfig {
+    match encoding {
+        Encoding::Decidable => SolverConfig::default(),
+        Encoding::Quantified => SolverConfig::quantified(),
+    }
+}
+
+/// Checks one VC formula for validity with a fresh solver.
+///
+/// This is the single-query building block the batch driver schedules across
+/// worker threads; [`VcGen::verify`] is the sequential loop over it. Returns
+/// the solver verdict ([`SatResult::Sat`] means *valid*, the semantics of
+/// [`ids_smt::Solver::check_valid`]) together with the solver statistics of
+/// the query.
+pub fn check_formula(
+    tm: &mut TermManager,
+    formula: TermId,
+    encoding: Encoding,
+) -> (SatResult, SolverStats) {
+    let mut solver = Solver::with_config(solver_config(encoding));
+    let result = solver.check_valid(tm, formula);
+    (result, solver.stats())
+}
 
 /// How frame conditions and allocation are encoded.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -176,17 +201,11 @@ impl<'a> VcGen<'a> {
     /// checked in order; the first refuted/undecided VC stops the run.
     pub fn verify(&self, tm: &mut TermManager, proc_name: &str) -> Result<VerifyOutcome, VcError> {
         let vcs = self.vcs_for(tm, proc_name)?;
-        let config = match self.encoding {
-            Encoding::Decidable => SolverConfig::default(),
-            Encoding::Quantified => SolverConfig::quantified(),
-        };
         let debug = std::env::var("IDS_VC_DEBUG").is_ok();
         for vc in &vcs {
-            let mut solver = Solver::with_config(config);
             let start = std::time::Instant::now();
-            let result = solver.check_valid(tm, vc.formula);
+            let (result, s) = check_formula(tm, vc.formula, self.encoding);
             if debug {
-                let s = solver.stats();
                 eprintln!(
                     "[vc] {:>8.3}s sat={:.3}s theory={:.3}s rounds={} atoms={} clauses={} conflicts={} decisions={} :: {}",
                     start.elapsed().as_secs_f64(),

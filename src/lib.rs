@@ -13,11 +13,14 @@
 //!   (the paper's contribution),
 //! * [`heap`] — concrete operational semantics and runtime checking,
 //! * [`structures`] — the benchmark suite of intrinsically defined data
-//!   structures (Table 2 of the paper).
+//!   structures (Table 2 of the paper),
+//! * [`driver`] — the parallel batch-verification engine with its persistent
+//!   VC cache (the `ids-verify` CLI front end lives in that crate).
 
 #![forbid(unsafe_code)]
 
 pub use ids_core as core;
+pub use ids_driver as driver;
 pub use ids_heap as heap;
 pub use ids_ivl as ivl;
 pub use ids_smt as smt;

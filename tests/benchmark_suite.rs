@@ -2,7 +2,7 @@
 //! the registry is complete, the method files obey the FWYB discipline, and a
 //! representative method per family verifies end to end.
 
-use intrinsic_verify::core::pipeline::{load_methods, verify_method_in, PipelineConfig};
+use intrinsic_verify::driver::{verify_selections, DriverConfig, Selection};
 use intrinsic_verify::structures::{all_benchmarks, lists, trees};
 
 #[test]
@@ -41,31 +41,49 @@ fn every_definition_declares_impact_sets_for_every_field() {
 
 #[test]
 fn representative_methods_verify() {
-    let cases = [
-        (
-            lists::singly_linked_list(),
-            lists::SINGLY_LINKED_LIST_METHODS,
-            "set_key",
-        ),
-        (
-            trees::treap(),
-            trees::TREAP_METHODS,
-            "treap_raise_root_priority",
-        ),
-        (
-            trees::bst_scaffolding(),
-            trees::BST_SCAFFOLDING_METHODS,
-            "scaffolding_of",
-        ),
+    // One method per family, batched through the parallel driver.
+    let sll = lists::singly_linked_list();
+    let treap = trees::treap();
+    let scaffolding = trees::bst_scaffolding();
+    let selections = vec![
+        Selection {
+            name: "Singly-Linked List",
+            definition: &sll,
+            methods_src: lists::SINGLY_LINKED_LIST_METHODS,
+            methods: vec!["set_key".into()],
+        },
+        Selection {
+            name: "Treap",
+            definition: &treap,
+            methods_src: trees::TREAP_METHODS,
+            methods: vec!["treap_raise_root_priority".into()],
+        },
+        Selection {
+            name: "BST+Scaffolding",
+            definition: &scaffolding,
+            methods_src: trees::BST_SCAFFOLDING_METHODS,
+            methods: vec!["scaffolding_of".into()],
+        },
     ];
-    for (ids, src, method) in cases {
-        let merged = load_methods(&ids, src).unwrap();
-        let report = verify_method_in(&ids, &merged, method, PipelineConfig::default()).unwrap();
+    let config = DriverConfig {
+        jobs: 2,
+        ..DriverConfig::default()
+    };
+    let batch = verify_selections(&selections, &config);
+    assert!(batch.errors.is_empty(), "{:?}", batch.errors);
+    assert_eq!(batch.reports.len(), 3);
+    for report in &batch.reports {
         assert!(
             report.outcome.is_verified(),
             "{} failed: {:?}",
-            method,
+            report.method,
             report.outcome
         );
+        assert!(report.num_vcs > 0);
     }
+    assert_eq!(batch.stats.methods, 3);
+    assert_eq!(
+        batch.stats.cache_hits + batch.stats.smt_queries,
+        batch.stats.vcs
+    );
 }

@@ -1,0 +1,119 @@
+//! End-to-end tests of the parallel batch driver: verdict parity with the
+//! sequential pipeline, warm-cache incrementality (a second run against a
+//! persisted cache discharges zero new SMT queries), and solver-statistics
+//! threading.
+
+use std::path::PathBuf;
+
+use intrinsic_verify::core::pipeline::{load_methods, verify_method_in, PipelineConfig};
+use intrinsic_verify::driver::{verify_selections, DriverConfig, Selection};
+use intrinsic_verify::structures::lists;
+
+fn temp_cache(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ids-driver-test-{}-{}.cache",
+        std::process::id(),
+        tag
+    ))
+}
+
+fn sll_selection(ids: &intrinsic_verify::core::IntrinsicDefinition) -> Selection<'_> {
+    Selection {
+        name: "Singly-Linked List",
+        definition: ids,
+        methods_src: lists::SINGLY_LINKED_LIST_METHODS,
+        methods: vec!["set_key".into(), "delete_front".into()],
+    }
+}
+
+#[test]
+fn parallel_verdicts_match_sequential_pipeline() {
+    let ids = lists::singly_linked_list();
+    let selections = vec![sll_selection(&ids)];
+    let config = DriverConfig {
+        jobs: 4,
+        ..DriverConfig::default()
+    };
+    let batch = verify_selections(&selections, &config);
+    assert!(batch.errors.is_empty(), "{:?}", batch.errors);
+
+    let merged = load_methods(&ids, lists::SINGLY_LINKED_LIST_METHODS).unwrap();
+    for report in &batch.reports {
+        let sequential =
+            verify_method_in(&ids, &merged, &report.method, PipelineConfig::default()).unwrap();
+        assert_eq!(
+            report.outcome.is_verified(),
+            sequential.outcome.is_verified(),
+            "verdict diverged for {}",
+            report.method
+        );
+        assert_eq!(report.num_vcs, sequential.num_vcs);
+        // Statistics are threaded through both paths.
+        assert!(report.solver.sat_propagations > 0, "{:?}", report.solver);
+        assert!(sequential.solver.sat_propagations > 0);
+    }
+}
+
+#[test]
+fn warm_cache_rerun_discharges_zero_smt_queries() {
+    let cache = temp_cache("warm");
+    std::fs::remove_file(&cache).ok();
+    let ids = lists::singly_linked_list();
+    let selections = vec![sll_selection(&ids)];
+    let config = DriverConfig {
+        jobs: 2,
+        cache_path: Some(cache.clone()),
+        ..DriverConfig::default()
+    };
+
+    let cold = verify_selections(&selections, &config);
+    assert!(cold.all_verified(), "{:?}", cold.errors);
+    assert!(cold.stats.smt_queries > 0, "cold run must query the solver");
+    assert!(cache.exists(), "cache file must be persisted");
+
+    let warm = verify_selections(&selections, &config);
+    assert!(warm.all_verified(), "{:?}", warm.errors);
+    assert_eq!(
+        warm.stats.smt_queries, 0,
+        "warm re-run must be answered entirely from the cache"
+    );
+    assert_eq!(warm.stats.cache_hits, warm.stats.vcs);
+
+    // Verdicts and row shapes are identical between cold and warm runs.
+    assert_eq!(cold.reports.len(), warm.reports.len());
+    for (c, w) in cold.reports.iter().zip(&warm.reports) {
+        assert_eq!(c.method, w.method);
+        assert_eq!(c.outcome.is_verified(), w.outcome.is_verified());
+        assert_eq!(c.num_vcs, w.num_vcs);
+    }
+    std::fs::remove_file(&cache).ok();
+}
+
+#[test]
+fn failing_methods_keep_failing_under_the_driver() {
+    let ids = lists::singly_linked_list();
+    let selections = vec![Selection {
+        name: "Singly-Linked List (buggy)",
+        definition: &ids,
+        methods_src: intrinsic_verify::structures::buggy::BUGGY_LIST_METHODS,
+        methods: vec![
+            "insert_front_forgets_length".into(),
+            "leaves_broken_set_nonempty".into(),
+        ],
+    }];
+    let config = DriverConfig {
+        jobs: 2,
+        ..DriverConfig::default()
+    };
+    let batch = verify_selections(&selections, &config);
+    assert!(batch.errors.is_empty(), "{:?}", batch.errors);
+    assert_eq!(batch.reports.len(), 2);
+    for report in &batch.reports {
+        assert!(
+            !report.outcome.is_verified(),
+            "{} must be refuted",
+            report.method
+        );
+    }
+    assert!(!batch.all_verified());
+}

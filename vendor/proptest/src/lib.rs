@@ -5,8 +5,8 @@
 //! implements the subset of proptest's API that the workspace's property
 //! tests use:
 //!
-//! * the [`Strategy`] trait with [`Strategy::prop_map`] and
-//!   [`Strategy::prop_recursive`],
+//! * the [`strategy::Strategy`] trait with [`strategy::Strategy::prop_map`]
+//!   and [`strategy::Strategy::prop_recursive`],
 //! * range strategies (`-20i64..20`), tuple strategies, and
 //!   [`collection::vec`],
 //! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
