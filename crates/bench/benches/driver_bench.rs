@@ -1,9 +1,11 @@
-//! Sequential vs. parallel batch driver, and cold vs. warm VC cache, on a
-//! mid-size method (singly-linked-list `delete_front`: 8 real SMT queries,
-//! seconds of single-core solving). On a multicore host the parallel run
-//! approaches `1/jobs` of the sequential time; the warm-cache run collapses
-//! to hashing + report assembly because every verdict is answered from the
-//! persisted cache.
+//! Sequential vs. parallel batch driver, incremental sessions vs. fresh
+//! per-VC solving, and cold vs. warm VC cache, on a mid-size method
+//! (singly-linked-list `delete_front`: 8 real SMT queries, seconds of
+//! single-core solving). On a multicore host the parallel run approaches
+//! `1/jobs` of the sequential time; the incremental session amortizes the
+//! method's shared-prelude lowering across its VCs (≈3× on this method);
+//! the warm-cache run collapses to hashing + report assembly because every
+//! verdict is answered from the persisted cache.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ids_driver::{verify_selections, DriverConfig, Selection};
@@ -32,6 +34,24 @@ fn bench_driver(c: &mut Criterion) {
         let config = DriverConfig {
             jobs: 1,
             cache_path: None,
+            ..DriverConfig::default()
+        };
+        b.iter(|| {
+            let batch = verify_selections(&selections, &config);
+            assert!(batch.errors.is_empty());
+            batch.reports.len()
+        });
+    });
+
+    // The PR-2 baseline: every VC in its own fresh solver (`--no-incremental`).
+    // Comparing against `sequential_jobs1` above isolates the win of sharing
+    // one incremental solver session across a method's VCs.
+    group.bench_function("fresh_per_vc_jobs1", |b| {
+        let selections = sll_selection(&ids, &methods);
+        let config = DriverConfig {
+            jobs: 1,
+            cache_path: None,
+            incremental: false,
             ..DriverConfig::default()
         };
         b.iter(|| {

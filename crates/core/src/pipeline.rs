@@ -14,8 +14,8 @@
 use std::time::{Duration, Instant};
 
 use ids_ivl::{ast, parse_program, Procedure, Program};
-use ids_smt::{structural_hash, SatResult, SolverStats, TermManager};
-use ids_vcgen::{check_formula, Encoding, Vc, VcGen, VerifyOutcome};
+use ids_smt::{structural_hash, SatResult, SolverStats, TermId, TermManager};
+use ids_vcgen::{check_formula, Encoding, Vc, VcGen, VcSession, VerifyOutcome};
 
 use crate::fwyb::{expand_program, ExpandError};
 use crate::ghost::{check_ghost_legality, GhostViolation};
@@ -177,6 +177,10 @@ pub struct MethodTask {
     pub tm: TermManager,
     /// The verification conditions, in generation order.
     pub vcs: Vec<Vc>,
+    /// The method's shared hypothesis list: VC `i` depends on the prefix
+    /// `hypotheses[..vcs[i].n_hyps]` (monotone in `i`). This is what an
+    /// incremental [`MethodSession`] asserts once instead of per VC.
+    pub hypotheses: Vec<TermId>,
     /// The encoding the VCs were generated under.
     pub encoding: Encoding,
     /// Time spent expanding + generating VCs.
@@ -255,6 +259,26 @@ impl MethodTask {
         out
     }
 
+    /// Like [`MethodTask::run_sequential`], but discharges the VCs through
+    /// one incremental solver session (shared prelude lowered once). Falls
+    /// back to the fresh-solver sequential loop when the encoding does not
+    /// support sessions. Verdicts are identical either way.
+    pub fn run_session(&self) -> Vec<VcResult> {
+        let Some(mut session) = MethodSession::new(self) else {
+            return self.run_sequential();
+        };
+        let mut out = Vec::with_capacity(self.vcs.len());
+        for i in 0..self.vcs.len() {
+            let r = session.check_vc(i);
+            let stop = r.verdict != VcVerdict::Valid;
+            out.push(r);
+            if stop {
+                break;
+            }
+        }
+        out
+    }
+
     /// Folds per-VC results into the method report.
     ///
     /// The outcome is derived by scanning the results in VC order, which gives
@@ -304,6 +328,61 @@ impl MethodTask {
             ghost_violations: self.ghost_violations.clone(),
             solver,
             cached_vcs,
+        }
+    }
+}
+
+/// One incremental solving session over a method's VCs.
+///
+/// The session owns a private clone of the task's term manager and a
+/// [`VcSession`] (an [`ids_smt::IncrementalSolver`] under the hood): the
+/// method's hypothesis prefix is asserted once — heap axioms, local-condition
+/// definitions and typing hypotheses are lowered and clause-converted a
+/// single time — and each VC is then checked in its own push/pop scope.
+///
+/// VCs must be checked in ascending index order (their hypothesis prefixes
+/// grow monotonically); indices may be skipped, e.g. when a batch driver
+/// already answered some VCs from a cache.
+pub struct MethodSession<'a> {
+    task: &'a MethodTask,
+    tm: TermManager,
+    session: VcSession,
+}
+
+impl<'a> MethodSession<'a> {
+    /// Opens a session for the task, or `None` when the task's encoding
+    /// cannot be discharged incrementally (quantified RQ3 mode).
+    pub fn new(task: &'a MethodTask) -> Option<MethodSession<'a>> {
+        if !VcSession::supports(task.encoding) {
+            return None;
+        }
+        Some(MethodSession {
+            task,
+            tm: task.tm.clone(),
+            session: VcSession::new(task.encoding),
+        })
+    }
+
+    /// Discharges one VC inside the session. Semantics (verdict kind, per-VC
+    /// statistics shape) match [`MethodTask::check_vc`].
+    pub fn check_vc(&mut self, vc_index: usize) -> VcResult {
+        let start = Instant::now();
+        let (result, stats) = self.session.check_vc(
+            &mut self.tm,
+            &self.task.hypotheses,
+            &self.task.vcs[vc_index],
+        );
+        let verdict = match result {
+            SatResult::Sat => VcVerdict::Valid,
+            SatResult::Unsat => VcVerdict::Refuted,
+            SatResult::Unknown => VcVerdict::Unknown,
+        };
+        VcResult {
+            vc_index,
+            verdict,
+            stats,
+            time: start.elapsed(),
+            cached: false,
         }
     }
 }
@@ -383,14 +462,15 @@ pub fn prepare_method_in(
     let expanded = expand_program(ids, merged)?;
     let vcgen = VcGen::new(&expanded, config.encoding);
     let mut tm = TermManager::new();
-    let vcs = vcgen.vcs_for(&mut tm, method)?;
+    let generated = vcgen.method_vcs(&mut tm, method)?;
     let prepare_time = start.elapsed();
 
     Ok(MethodTask {
         structure: ids.name.clone(),
         method: method.to_string(),
         tm,
-        vcs,
+        vcs: generated.vcs,
+        hypotheses: generated.hypotheses,
         encoding: config.encoding,
         prepare_time,
         loc: ast::executable_loc(&proc),
@@ -421,14 +501,15 @@ pub fn prepare_plain(
     let start = Instant::now();
     let vcgen = VcGen::new(program, config.encoding);
     let mut tm = TermManager::new();
-    let vcs = vcgen.vcs_for(&mut tm, method)?;
+    let generated = vcgen.method_vcs(&mut tm, method)?;
     let prepare_time = start.elapsed();
 
     Ok(MethodTask {
         structure: structure.to_string(),
         method: method.to_string(),
         tm,
-        vcs,
+        vcs: generated.vcs,
+        hypotheses: generated.hypotheses,
         encoding: config.encoding,
         prepare_time,
         loc: ast::executable_loc(&proc),
@@ -533,6 +614,70 @@ mod tests {
         assert!(report.wellbehaved_violations.is_empty());
         assert!(report.ghost_violations.is_empty());
         assert!(report.num_vcs > 0);
+    }
+
+    #[test]
+    fn session_runner_matches_sequential_pipeline() {
+        // The incremental session must reproduce the fresh-per-VC runner's
+        // results exactly — same number of results (early stop included),
+        // same verdict per VC — on a verifying FWYB method.
+        let ids = list_ids();
+        let methods = r#"
+            procedure insert_front(x: Loc) returns (r: Loc)
+              requires Br == {} && x != nil && x.prev == nil;
+              ensures Br == {} && r != nil && r.prev == nil;
+              modifies {};
+            {
+              InferLCOutsideBr(x);
+              var z: Loc;
+              NewObj(z);
+              Mut(z, next, x);
+              Mut(z, length, x.length + 1);
+              Mut(z, prev, nil);
+              Mut(x, prev, z);
+              AssertLCAndRemove(z);
+              AssertLCAndRemove(x);
+              r := z;
+            }
+        "#;
+        let merged = load_methods(&ids, methods).unwrap();
+        let task =
+            prepare_method_in(&ids, &merged, "insert_front", PipelineConfig::default()).unwrap();
+        let seq = task.run_sequential();
+        let inc = task.run_session();
+        assert_eq!(seq.len(), inc.len());
+        for (s, i) in seq.iter().zip(&inc) {
+            assert_eq!(s.vc_index, i.vc_index);
+            assert_eq!(s.verdict, i.verdict, "vc#{} diverged", s.vc_index);
+        }
+        assert!(task.report(&inc).outcome.is_verified());
+    }
+
+    #[test]
+    fn session_runner_matches_sequential_on_refuted_method() {
+        // Early-stop parity: both runners must stop at the same failing VC.
+        let ids = list_ids();
+        let methods = r#"
+            procedure detach_bad(x: Loc)
+              requires Br == {} && x != nil;
+              ensures Br == {};
+              modifies {};
+            {
+              Mut(x, next, nil);
+            }
+        "#;
+        let merged = load_methods(&ids, methods).unwrap();
+        let task =
+            prepare_method_in(&ids, &merged, "detach_bad", PipelineConfig::default()).unwrap();
+        let seq = task.run_sequential();
+        let inc = task.run_session();
+        assert_eq!(seq.len(), inc.len());
+        for (s, i) in seq.iter().zip(&inc) {
+            assert_eq!(s.verdict, i.verdict, "vc#{} diverged", s.vc_index);
+        }
+        let (rs, ri) = (task.report(&seq), task.report(&inc));
+        assert_eq!(rs.outcome, ri.outcome, "reported outcome must match");
+        assert!(!ri.outcome.is_verified());
     }
 
     #[test]

@@ -35,6 +35,8 @@ OPTIONS:
     --cache PATH       persistent VC cache file (created if missing)
     --json             machine-readable JSON output
     --quantified       use the quantified (Dafny-style) encoding
+    --no-incremental   discharge every VC in a fresh solver instead of one
+                       incremental session per method (verdicts identical)
     --quick            (suite) only the quick benchmark subset
     --structure NAME   (suite) only structures whose name contains NAME
                        (substring match, case-insensitive);
@@ -49,6 +51,7 @@ struct Options {
     cache: Option<PathBuf>,
     json: bool,
     quantified: bool,
+    no_incremental: bool,
     quick: bool,
     structure: Option<String>,
     methods: Vec<String>,
@@ -68,6 +71,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cache: None,
         json: false,
         quantified: false,
+        no_incremental: false,
         quick: false,
         structure: None,
         methods: Vec::new(),
@@ -92,6 +96,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--cache" => o.cache = Some(PathBuf::from(value_of("--cache")?)),
             "--json" => o.json = true,
             "--quantified" => o.quantified = true,
+            "--no-incremental" => o.no_incremental = true,
             "--quick" => o.quick = true,
             "--structure" => o.structure = Some(value_of("--structure")?),
             "--method" => o.methods.push(value_of("--method")?),
@@ -111,6 +116,7 @@ fn driver_config(o: &Options) -> DriverConfig {
             Encoding::Decidable
         },
         cache_path: o.cache.clone(),
+        incremental: !o.no_incremental,
         ..DriverConfig::default()
     };
     if let Some(jobs) = o.jobs {

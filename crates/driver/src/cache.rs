@@ -12,16 +12,21 @@
 //! environment has no serialization crates):
 //!
 //! ```text
-//! ids-vc-cache v1
+//! ids-vc-cache v2 fp=0000000000000002
 //! 00731f95c3a1be8e55f20ac7135a4d22 V
 //! 2b9e0d4c81f6a3570c44de9a0b6f1e88 R
 //! ```
 //!
-//! Line 1 is a magic+version header; every following line is the
+//! Line 1 is a magic+version header carrying the solver-logic fingerprint
+//! ([`ids_smt::SOLVER_LOGIC_FINGERPRINT`]); every following line is the
 //! zero-padded lowercase hex key and a verdict letter (`V`alid /
 //! `R`efuted). Undecided VCs are never cached (they should be re-attempted).
+//!
 //! A file with an unknown header or a malformed line is ignored wholesale —
-//! a cache is always safe to delete or truncate.
+//! a cache is always safe to delete or truncate. Because a VC's key hashes
+//! only its *formula*, a verdict is stale the moment the solver or lowering
+//! logic changes; the fingerprint in the header makes such caches (v1 files
+//! included) read as empty instead of silently replaying old verdicts.
 
 use std::collections::HashMap;
 use std::io;
@@ -29,8 +34,13 @@ use std::path::Path;
 
 use ids_core::pipeline::VcVerdict;
 
-/// The file header identifying format and version.
-const HEADER: &str = "ids-vc-cache v1";
+/// The file header identifying format version and solver-logic generation.
+fn header() -> String {
+    format!(
+        "ids-vc-cache v2 fp={:016x}",
+        ids_smt::SOLVER_LOGIC_FINGERPRINT
+    )
+}
 
 /// An in-memory VC verdict cache with optional on-disk persistence.
 #[derive(Clone, Debug, Default)]
@@ -55,7 +65,9 @@ impl VcCache {
             Err(e) => return Err(e),
         };
         let mut lines = text.lines();
-        if lines.next() != Some(HEADER) {
+        if lines.next() != Some(header().as_str()) {
+            // Unknown version or a different solver generation: every cached
+            // verdict is potentially stale, so the whole file is ignored.
             return Ok(VcCache::new());
         }
         let mut entries = HashMap::new();
@@ -88,8 +100,8 @@ impl VcCache {
     pub fn save(&mut self, path: &Path) -> io::Result<()> {
         let mut keys: Vec<&u128> = self.entries.keys().collect();
         keys.sort();
-        let mut out = String::with_capacity(16 + keys.len() * 35);
-        out.push_str(HEADER);
+        let mut out = String::with_capacity(40 + keys.len() * 35);
+        out.push_str(&header());
         out.push('\n');
         for k in keys {
             let letter = match self.entries[k] {
@@ -179,8 +191,29 @@ mod tests {
         let path = temp_path("corrupt");
         std::fs::write(&path, "some other format\n123 V\n").unwrap();
         assert!(VcCache::load(&path).unwrap().is_empty());
-        std::fs::write(&path, format!("{}\nnot-hex V\n", HEADER)).unwrap();
+        std::fs::write(&path, format!("{}\nnot-hex V\n", header())).unwrap();
         assert!(VcCache::load(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_solver_generations_are_invalidated() {
+        let key_line = "000000000000000000000000000000ff V\n";
+        // A v1 cache (no fingerprint) is stale by definition.
+        let path = temp_path("v1-stale");
+        std::fs::write(&path, format!("ids-vc-cache v1\n{}", key_line)).unwrap();
+        assert!(VcCache::load(&path).unwrap().is_empty());
+        // A v2 cache from a different solver generation is equally stale.
+        std::fs::write(
+            &path,
+            format!("ids-vc-cache v2 fp=00000000deadbeef\n{}", key_line),
+        )
+        .unwrap();
+        assert!(VcCache::load(&path).unwrap().is_empty());
+        // The current generation's own header is accepted.
+        std::fs::write(&path, format!("{}\n{}", header(), key_line)).unwrap();
+        let cache = VcCache::load(&path).unwrap();
+        assert_eq!(cache.get(0xff), Some(VcVerdict::Valid));
         std::fs::remove_file(&path).ok();
     }
 

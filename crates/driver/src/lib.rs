@@ -77,6 +77,12 @@ pub struct DriverConfig {
     /// Optional path of the persistent VC cache; loaded before and saved
     /// after the batch. `None` still memoizes within the batch, in memory.
     pub cache_path: Option<PathBuf>,
+    /// If true (the default), a method's VCs are discharged as *one session
+    /// unit* on a worker — an incremental solver shares the method's lowered
+    /// prelude across its VCs. If false (`--no-incremental`), every VC is an
+    /// independent fresh-solver job, the PR-2 behaviour. Cache keys, batch
+    /// dedup and reported verdicts are byte-identical either way.
+    pub incremental: bool,
 }
 
 impl Default for DriverConfig {
@@ -87,6 +93,7 @@ impl Default for DriverConfig {
                 .unwrap_or(1),
             encoding: Encoding::default(),
             cache_path: None,
+            incremental: true,
         }
     }
 }
@@ -314,16 +321,56 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
     let tasks_ref = &tasks;
     let cancelled = std::sync::Mutex::new(refuted_tasks);
     let cancelled_ref = &cancelled;
-    let solved = pool::run(config.jobs, jobs, move |(key, ti, vi)| {
-        if cancelled_ref.lock().expect("cancel set").contains(&ti) {
-            return (key, ti, vi, None);
+    let solved: Vec<(u128, usize, usize, Option<VcResult>)> = if config.incremental {
+        // Incremental mode: a method's pending VCs form one *session unit* on
+        // a worker. The session asserts the method's shared hypothesis prefix
+        // once and checks each goal under push/pop, walking the VCs in index
+        // order (hypothesis prefixes are monotone; cache-answered indices are
+        // simply skipped). Cancellation still applies per VC, and a session
+        // that refutes a VC stops the method exactly like the per-VC path.
+        let mut by_task: BTreeMap<usize, Vec<(u128, usize)>> = BTreeMap::new();
+        for (key, ti, vi) in jobs {
+            by_task.entry(ti).or_default().push((key, vi));
         }
-        let result = tasks_ref[ti].check_vc(vi);
-        if result.verdict == ids_core::pipeline::VcVerdict::Refuted {
-            cancelled_ref.lock().expect("cancel set").insert(ti);
-        }
-        (key, ti, vi, Some(result))
-    });
+        let session_jobs: Vec<(usize, Vec<(u128, usize)>)> = by_task.into_iter().collect();
+        pool::run(config.jobs, session_jobs, move |(ti, mut items)| {
+            items.sort_by_key(|&(_, vi)| vi);
+            let task = &tasks_ref[ti];
+            // Quantified-encoding tasks fall back to fresh solvers inside
+            // the same session unit.
+            let mut session = ids_core::pipeline::MethodSession::new(task);
+            let mut out = Vec::with_capacity(items.len());
+            for (key, vi) in items {
+                if cancelled_ref.lock().expect("cancel set").contains(&ti) {
+                    out.push((key, ti, vi, None));
+                    continue;
+                }
+                let result = match session.as_mut() {
+                    Some(s) => s.check_vc(vi),
+                    None => task.check_vc(vi),
+                };
+                if result.verdict == ids_core::pipeline::VcVerdict::Refuted {
+                    cancelled_ref.lock().expect("cancel set").insert(ti);
+                }
+                out.push((key, ti, vi, Some(result)));
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        pool::run(config.jobs, jobs, move |(key, ti, vi)| {
+            if cancelled_ref.lock().expect("cancel set").contains(&ti) {
+                return (key, ti, vi, None);
+            }
+            let result = tasks_ref[ti].check_vc(vi);
+            if result.verdict == ids_core::pipeline::VcVerdict::Refuted {
+                cancelled_ref.lock().expect("cancel set").insert(ti);
+            }
+            (key, ti, vi, Some(result))
+        })
+    };
     drop(cancelled);
     for (key, ti, vi, result) in solved {
         let Some(result) = result else { continue };
@@ -354,6 +401,10 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
     // what the cache already knew. VCs after that boundary stay unsolved
     // (`skipped_vcs`), the early-stop saving.
     for (ti, (task, slots)) in tasks.iter().zip(results.iter_mut()).enumerate() {
+        // Repaired VCs share one incremental session per method too (opened
+        // lazily: most methods need no repair). Indices may be skipped —
+        // sessions only require ascending order, which this walk guarantees.
+        let mut session: Option<ids_core::pipeline::MethodSession> = None;
         for (vi, slot) in slots.iter_mut().enumerate() {
             if let Some(present) = slot {
                 if present.verdict != ids_core::pipeline::VcVerdict::Valid {
@@ -366,7 +417,13 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
                 cache_hits += 1;
                 VcResult::from_cache(vi, verdict)
             } else {
-                let result = task.check_vc(vi);
+                if session.is_none() && config.incremental {
+                    session = ids_core::pipeline::MethodSession::new(task);
+                }
+                let result = match session.as_mut() {
+                    Some(s) => s.check_vc(vi),
+                    None => task.check_vc(vi),
+                };
                 smt_queries += 1;
                 cache.insert(key, result.verdict);
                 result
@@ -452,6 +509,55 @@ mod tests {
             );
             assert_eq!(report.num_vcs, seq.num_vcs, "{} vc count", report.method);
         }
+    }
+
+    #[test]
+    fn incremental_sessions_match_per_vc_jobs() {
+        // The same batch through session units (default) and through fresh
+        // per-VC jobs (--no-incremental): verdict kind, VC counts and failing
+        // VC must be byte-identical; only solver-internal statistics may
+        // differ. Includes a refuted method so the early-stop paths are
+        // compared too.
+        let good = ids_structures::Benchmark {
+            name: "Singly-Linked List",
+            definition: lists::singly_linked_list(),
+            methods_src: lists::SINGLY_LINKED_LIST_METHODS,
+            methods: vec![],
+        };
+        let bad = ids_structures::Benchmark {
+            name: "Singly-Linked List (buggy)",
+            definition: lists::singly_linked_list(),
+            methods_src: ids_structures::buggy::BUGGY_LIST_METHODS,
+            methods: vec![],
+        };
+        let sel = vec![
+            Selection::methods_of(&good, &["set_key"]),
+            Selection::methods_of(&bad, &["insert_front_forgets_length"]),
+        ];
+        let incremental = verify_selections(
+            &sel,
+            &DriverConfig {
+                jobs: 2,
+                ..DriverConfig::default()
+            },
+        );
+        let fresh = verify_selections(
+            &sel,
+            &DriverConfig {
+                jobs: 2,
+                incremental: false,
+                ..DriverConfig::default()
+            },
+        );
+        assert!(incremental.errors.is_empty() && fresh.errors.is_empty());
+        assert_eq!(incremental.reports.len(), fresh.reports.len());
+        for (a, b) in incremental.reports.iter().zip(&fresh.reports) {
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.outcome, b.outcome, "{} diverged", a.method);
+            assert_eq!(a.num_vcs, b.num_vcs);
+        }
+        assert!(incremental.reports[0].outcome.is_verified());
+        assert!(!incremental.reports[1].outcome.is_verified());
     }
 
     #[test]

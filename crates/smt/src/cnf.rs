@@ -58,6 +58,15 @@ pub fn tseitin(tm: &TermManager, roots: &[TermId], sat: &mut SatSolver) -> AtomM
     map
 }
 
+/// Incrementally encodes one root into an existing solver + atom map and
+/// returns the literal equivalent to the root *without asserting it*. The
+/// caller decides how to assert it — as a permanent unit clause, or guarded
+/// by an activation literal for push/pop retraction. Sub-terms already encoded
+/// by earlier calls are shared.
+pub fn encode_root(tm: &TermManager, root: TermId, sat: &mut SatSolver, map: &mut AtomMap) -> Lit {
+    encode(tm, root, sat, map)
+}
+
 fn is_connective(op: &Op) -> bool {
     matches!(
         op,

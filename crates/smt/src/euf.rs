@@ -59,25 +59,37 @@ pub struct EufTemplate {
     terms: Vec<TermId>,
     node_of_term: HashMap<TermId, usize>,
     app_nodes: Vec<AppNode>,
+    /// Interned operators, kept so the template can be extended with new
+    /// terms later (incremental sessions) without renumbering.
+    op_ids: HashMap<Op, u32>,
 }
 
 impl EufTemplate {
     /// Builds the template for the given universe of terms (sub-terms of the
     /// universe members are added automatically).
     pub fn new(tm: &TermManager, universe: &[TermId]) -> EufTemplate {
-        let all = tm.subterms(universe);
-        let mut node_of_term = HashMap::with_capacity(all.len());
-        let mut terms = Vec::with_capacity(all.len());
-        for t in all {
-            node_of_term.entry(t).or_insert_with(|| {
-                terms.push(t);
-                terms.len() - 1
-            });
+        let mut template = EufTemplate::default();
+        template.extend(tm, universe);
+        template
+    }
+
+    /// Extends the template with new universe members (and their sub-terms).
+    /// Existing node numbering is preserved; new terms are appended, so an
+    /// [`Euf`] built from the extended template subsumes one built before.
+    pub fn extend(&mut self, tm: &TermManager, universe: &[TermId]) {
+        // Number every new term first (sub-term traversal yields parents
+        // before children, so application nodes can only be built once all
+        // their arguments have indices).
+        let mut new_terms = Vec::new();
+        for t in tm.subterms(universe) {
+            if self.node_of_term.contains_key(&t) {
+                continue;
+            }
+            self.terms.push(t);
+            self.node_of_term.insert(t, self.terms.len() - 1);
+            new_terms.push(t);
         }
-        // Intern operators so that signature comparison is integer comparison.
-        let mut op_ids: HashMap<Op, u32> = HashMap::new();
-        let mut app_nodes = Vec::new();
-        for (i, &t) in terms.iter().enumerate() {
+        for t in new_terms {
             let term = tm.term(t);
             if term.args.is_empty()
                 || matches!(
@@ -87,15 +99,12 @@ impl EufTemplate {
             {
                 continue;
             }
-            let next = op_ids.len() as u32;
-            let op = *op_ids.entry(term.op.clone()).or_insert(next);
-            let args = term.args.iter().map(|a| node_of_term[a]).collect();
-            app_nodes.push(AppNode { node: i, op, args });
-        }
-        EufTemplate {
-            terms,
-            node_of_term,
-            app_nodes,
+            // Intern operators so signature comparison is integer comparison.
+            let next = self.op_ids.len() as u32;
+            let op = *self.op_ids.entry(term.op.clone()).or_insert(next);
+            let node = self.node_of_term[&t];
+            let args = term.args.iter().map(|a| self.node_of_term[a]).collect();
+            self.app_nodes.push(AppNode { node, op, args });
         }
     }
 

@@ -1,0 +1,559 @@
+//! The push/pop incremental solver: shared solver state across a sequence of
+//! related queries.
+//!
+//! The batch [`crate::Solver`] re-lowers, re-converts and re-analyzes the
+//! whole assertion set on every `check` — the right shape for one-shot VC
+//! discharge, but wasteful when dozens of queries share a large prelude (a
+//! method's typing hypotheses, heap axioms and local-condition definitions).
+//! [`IncrementalSolver`] keeps every layer of that work alive across checks:
+//!
+//! * **Lowering** — a persistent [`crate::lower::LowerCtx`] instantiates the
+//!   set/array axioms once per (trigger, element) pair, no matter how many
+//!   checks mention them. Axioms and Skolem definitions are *permanent facts*
+//!   (valid, or definitional over globally fresh symbols), so they survive
+//!   `pop` soundly.
+//! * **CNF/SAT** — one growing [`crate::sat::SatSolver`]. Assertions made
+//!   inside a [`IncrementalSolver::push`] scope carry a negated *activation
+//!   literal*; a check assumes the activation literals of the live scopes
+//!   ([`crate::sat::SatSolver::solve_under`]), and [`IncrementalSolver::pop`]
+//!   retracts the scope by permanently asserting the negated activation
+//!   literal. Learned clauses — including theory conflict clauses — are
+//!   globally valid and are kept forever.
+//! * **Theory setup** — one [`crate::theory::TheoryChecker`] whose congruence
+//!   template and linear forms are *extended* as new atoms appear instead of
+//!   being rebuilt per query.
+//!
+//! Model soundness with retraction: atoms that only occur in popped scopes
+//! are *dead* — their propositional values are unconstrained don't-cares. The
+//! theory check therefore runs on the live atoms only; a consistent live
+//! assignment is a genuine model of the active assertions because every
+//! remaining clause mentioning dead atoms is either deactivated (by the
+//! popped activation literal) or a valid lemma, satisfied by the dead atoms'
+//! semantic truth values.
+//!
+//! Quantified formulas are not supported: asserting one puts the solver into
+//! a degraded mode where every check answers [`SatResult::Unknown`] (the
+//! quantified RQ3 encoding keeps using the batch solver).
+//!
+//! # Example
+//!
+//! ```
+//! use ids_smt::{IncrementalSolver, SatResult, Sort, TermManager};
+//! let mut tm = TermManager::new();
+//! let x = tm.var("x", Sort::Int);
+//! let zero = tm.int(0);
+//! let ge = tm.ge(x, zero);
+//! let lt = tm.lt(x, zero);
+//! let mut s = IncrementalSolver::new();
+//! s.assert(&mut tm, ge); // permanent
+//! s.push();
+//! s.assert(&mut tm, lt); // scoped: contradicts the permanent assertion
+//! assert_eq!(s.check(&mut tm), SatResult::Unsat);
+//! s.pop();
+//! assert_eq!(s.check(&mut tm), SatResult::Sat); // the contradiction is gone
+//! ```
+
+use std::collections::HashMap;
+
+use crate::cnf::{encode_root, AtomMap};
+use crate::lower::LowerCtx;
+use crate::model::Model;
+use crate::quant::contains_forall;
+use crate::sat::{Lit, SatResult, SatSolver, Var};
+use crate::solver::{SolverConfig, SolverStats};
+use crate::term::{Op, Sort, TermId, TermManager};
+use crate::theory::{TheoryCheck, TheoryChecker};
+
+/// Where an atom has been used so far: in a permanent assertion (or a derived
+/// fact), or only inside the listed push scopes.
+#[derive(Clone, Debug)]
+enum AtomScope {
+    /// Mentioned by at least one permanent assertion — always live.
+    Base,
+    /// Mentioned only by assertions of these scopes (by scope id); live while
+    /// any of them is still on the scope stack.
+    Scopes(Vec<u64>),
+}
+
+/// One entry of the push/pop stack.
+#[derive(Clone, Copy, Debug)]
+struct Scope {
+    /// Unique id (never reused, so popped ids stay distinguishable).
+    id: u64,
+    /// Activation variable guarding the scope's assertion clauses.
+    act: Var,
+}
+
+/// An SMT solver with persistent state and a push/pop assertion stack.
+///
+/// See the [module documentation](self) for the architecture.
+#[derive(Debug)]
+pub struct IncrementalSolver {
+    config: SolverConfig,
+    sat: SatSolver,
+    atom_map: AtomMap,
+    lower: LowerCtx,
+    checker: Option<TheoryChecker>,
+    /// Atoms encoded since the checker was last grown.
+    pending_atoms: Vec<TermId>,
+    atom_scope: HashMap<TermId, AtomScope>,
+    scopes: Vec<Scope>,
+    next_scope_id: u64,
+    saw_quantifier: bool,
+    stats: SolverStats,
+    model: Option<Model>,
+}
+
+impl Default for IncrementalSolver {
+    fn default() -> IncrementalSolver {
+        IncrementalSolver::new()
+    }
+}
+
+impl IncrementalSolver {
+    /// Creates a solver with the default (decidable-mode) configuration.
+    pub fn new() -> IncrementalSolver {
+        IncrementalSolver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with an explicit configuration. Quantifier support is
+    /// ignored — see the module documentation.
+    pub fn with_config(config: SolverConfig) -> IncrementalSolver {
+        IncrementalSolver {
+            config,
+            // NB: `SatSolver::new()`, not `default()` — only `new` produces a
+            // usable (consistent) solver.
+            sat: SatSolver::new(),
+            atom_map: AtomMap::default(),
+            lower: LowerCtx::new(),
+            checker: None,
+            pending_atoms: Vec::new(),
+            atom_scope: HashMap::new(),
+            scopes: Vec::new(),
+            next_scope_id: 0,
+            saw_quantifier: false,
+            stats: SolverStats::default(),
+            model: None,
+        }
+    }
+
+    /// Statistics of the last [`IncrementalSolver::check`] call. SAT counters
+    /// are per-check deltas; `initial_clauses` and `atoms` report the
+    /// cumulative session size at the time of the check.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// The model of the last `check`, if it returned [`SatResult::Sat`]. The
+    /// model covers the live atoms of the session.
+    pub fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+
+    /// Current scope depth (number of unmatched pushes).
+    pub fn depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Opens a new assertion scope: assertions made until the matching
+    /// [`IncrementalSolver::pop`] are retracted by it.
+    pub fn push(&mut self) {
+        let act = self.sat.new_var();
+        let id = self.next_scope_id;
+        self.next_scope_id += 1;
+        self.scopes.push(Scope { id, act });
+    }
+
+    /// Closes the innermost scope, retracting its assertions (their clauses
+    /// are permanently deactivated via the scope's activation literal; facts
+    /// learned from them — instantiated axioms, theory lemmas — are valid and
+    /// stay).
+    ///
+    /// # Panics
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let scope = self.scopes.pop().expect("pop without matching push");
+        self.sat.add_clause(vec![Lit::new(scope.act, false)]);
+    }
+
+    /// Asserts a formula in the current scope (permanently when no scope is
+    /// open). Lowering, CNF conversion and axiom instantiation happen now,
+    /// incrementally against everything asserted before.
+    pub fn assert(&mut self, tm: &mut TermManager, t: TermId) {
+        if contains_forall(tm, t) {
+            // Not supported incrementally; degrade the whole session rather
+            // than silently dropping an assertion (soundness first).
+            self.saw_quantifier = true;
+            return;
+        }
+        let batch = self.lower.add(tm, &[t]);
+        for f in batch.facts {
+            self.assert_lowered(tm, f, true);
+        }
+        for r in batch.roots {
+            self.assert_lowered(tm, r, false);
+        }
+    }
+
+    /// Asserts several formulas in order.
+    pub fn assert_all(&mut self, tm: &mut TermManager, ts: &[TermId]) {
+        for &t in ts {
+            self.assert(tm, t);
+        }
+    }
+
+    /// Encodes one lowered root and asserts it — permanently for derived
+    /// facts, guarded by the current scope's activation literal otherwise.
+    fn assert_lowered(&mut self, tm: &TermManager, root: TermId, permanent: bool) {
+        let lit = encode_root(tm, root, &mut self.sat, &mut self.atom_map);
+        self.mark_atoms(tm, root, permanent);
+        let clause = match (permanent, self.scopes.last()) {
+            (false, Some(scope)) => vec![Lit::new(scope.act, false), lit],
+            _ => vec![lit],
+        };
+        self.sat.add_clause(clause);
+    }
+
+    /// Records the scope of every theory atom of `root` (same traversal shape
+    /// as the CNF encoder: descend through Boolean connectives, stop at
+    /// atoms) and queues new atoms for the theory checker.
+    fn mark_atoms(&mut self, tm: &TermManager, root: TermId, permanent: bool) {
+        let scope_id = if permanent {
+            None
+        } else {
+            self.scopes.last().map(|s| s.id)
+        };
+        let mut visited: std::collections::HashSet<TermId> = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(t) = stack.pop() {
+            if !visited.insert(t) {
+                continue;
+            }
+            let term = tm.term(t);
+            match term.op {
+                Op::True | Op::False => {}
+                Op::Not | Op::And | Op::Or | Op::Implies | Op::Iff => {
+                    stack.extend(term.args.iter().copied());
+                }
+                Op::Ite if term.sort == Sort::Bool => {
+                    stack.extend(term.args.iter().copied());
+                }
+                _ => {
+                    // A theory atom.
+                    match self.atom_scope.get_mut(&t) {
+                        None => {
+                            self.pending_atoms.push(t);
+                            let scope = match scope_id {
+                                None => AtomScope::Base,
+                                Some(id) => AtomScope::Scopes(vec![id]),
+                            };
+                            self.atom_scope.insert(t, scope);
+                        }
+                        Some(AtomScope::Base) => {}
+                        Some(AtomScope::Scopes(ids)) => match scope_id {
+                            None => {
+                                self.atom_scope.insert(t, AtomScope::Base);
+                            }
+                            Some(id) => {
+                                // Popped ids can never become live again:
+                                // prune them here so a reused atom's list
+                                // stays bounded by the stack depth.
+                                ids.retain(|i| self.scopes.iter().any(|s| s.id == *i));
+                                if !ids.contains(&id) {
+                                    ids.push(id);
+                                }
+                            }
+                        },
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks satisfiability of the conjunction of all live assertions
+    /// (permanent ones plus those of open scopes).
+    pub fn check(&mut self, tm: &mut TermManager) -> SatResult {
+        self.stats = SolverStats::default();
+        self.model = None;
+        if self.saw_quantifier {
+            return SatResult::Unknown;
+        }
+
+        // Grow the theory checker to cover every encoded atom.
+        let pending = std::mem::take(&mut self.pending_atoms);
+        match &mut self.checker {
+            Some(c) => c.extend(tm, &pending),
+            None => self.checker = Some(TheoryChecker::new(tm, &pending)),
+        }
+
+        self.stats.initial_clauses = self.sat.num_clauses() as u64;
+        self.stats.atoms = self.atom_map.atom_of_var.len() as u64;
+        let base = (
+            self.sat.conflicts,
+            self.sat.decisions,
+            self.sat.propagations,
+        );
+        let assumptions: Vec<Lit> = self.scopes.iter().map(|s| Lit::new(s.act, true)).collect();
+
+        // Split borrows: the loop reads the checker while mutating the SAT
+        // core and the stats.
+        let checker = self.checker.as_ref().expect("checker built above");
+        let sat = &mut self.sat;
+        let stats = &mut self.stats;
+        let snapshot = |stats: &mut SolverStats, sat: &SatSolver| {
+            stats.sat_conflicts = sat.conflicts - base.0;
+            stats.sat_decisions = sat.decisions - base.1;
+            stats.sat_propagations = sat.propagations - base.2;
+        };
+
+        for round in 0..self.config.max_theory_rounds {
+            stats.theory_rounds = round as u64 + 1;
+            let sat_start = std::time::Instant::now();
+            let sat_result = if round == 0 || !self.config.incremental_sat {
+                sat.solve_under(&assumptions)
+            } else {
+                sat.solve_continue_under(&assumptions)
+            };
+            stats.sat_time += sat_start.elapsed();
+            match sat_result {
+                SatResult::Unsat | SatResult::Unknown => {
+                    snapshot(stats, sat);
+                    return sat_result;
+                }
+                SatResult::Sat => {}
+            }
+            let literals = live_literals(&self.atom_map, sat, &self.atom_scope, &self.scopes);
+            let theory_start = std::time::Instant::now();
+            let theory_result = checker.check(tm, &literals);
+            stats.theory_time += theory_start.elapsed();
+            match theory_result {
+                TheoryCheck::Consistent => {
+                    snapshot(stats, sat);
+                    self.model = Some(Model::new(literals));
+                    return SatResult::Sat;
+                }
+                TheoryCheck::Unknown => {
+                    snapshot(stats, sat);
+                    return SatResult::Unknown;
+                }
+                TheoryCheck::Conflict(indices) => {
+                    let clause: Vec<Lit> = indices
+                        .iter()
+                        .map(|&i| {
+                            let (atom, positive) = literals[i];
+                            self.atom_map.lit_of(atom, !positive)
+                        })
+                        .collect();
+                    if clause.is_empty() {
+                        // The theories rejected the empty literal set — the
+                        // axioms alone are inconsistent. Impossible, but be
+                        // safe.
+                        snapshot(stats, sat);
+                        return SatResult::Unsat;
+                    }
+                    let clause_ok = if self.config.incremental_sat {
+                        sat.add_theory_conflict(clause)
+                    } else {
+                        sat.add_clause(clause)
+                    };
+                    if !clause_ok {
+                        snapshot(stats, sat);
+                        return SatResult::Unsat;
+                    }
+                }
+            }
+        }
+        snapshot(stats, sat);
+        SatResult::Unknown
+    }
+
+    /// Convenience wrapper for one goal check under the current assertions:
+    /// opens a scope, asserts the negated formula, checks, pops — and
+    /// translates the result into validity terms ([`SatResult::Sat`] = the
+    /// formula is valid given the asserted hypotheses), mirroring
+    /// [`crate::Solver::check_valid`].
+    pub fn check_valid_scoped(&mut self, tm: &mut TermManager, formula: TermId) -> SatResult {
+        self.push();
+        let neg = tm.not(formula);
+        self.assert(tm, neg);
+        let result = self.check(tm);
+        self.pop();
+        match result {
+            SatResult::Unsat => SatResult::Sat, // valid
+            SatResult::Sat => SatResult::Unsat, // counterexample exists
+            SatResult::Unknown => SatResult::Unknown,
+        }
+    }
+}
+
+/// The asserted theory literals of the current SAT model, restricted to live
+/// atoms (see the module documentation for why dead atoms must be excluded
+/// from theory checking).
+fn live_literals(
+    atom_map: &AtomMap,
+    sat: &SatSolver,
+    atom_scope: &HashMap<TermId, AtomScope>,
+    scopes: &[Scope],
+) -> Vec<(TermId, bool)> {
+    let live_ids: std::collections::HashSet<u64> = scopes.iter().map(|s| s.id).collect();
+    let is_live = |t: &TermId| match atom_scope.get(t) {
+        None | Some(AtomScope::Base) => true,
+        Some(AtomScope::Scopes(ids)) => ids.iter().any(|id| live_ids.contains(id)),
+    };
+    let mut out = atom_map.model_literals(sat);
+    out.retain(|(t, _)| is_live(t));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatResult;
+    use crate::solver::Solver;
+
+    #[test]
+    fn push_pop_retracts_assertions() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Int);
+        let zero = tm.int(0);
+        let ge = tm.ge(x, zero);
+        let lt = tm.lt(x, zero);
+        let mut s = IncrementalSolver::new();
+        s.assert(&mut tm, ge);
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        s.push();
+        s.assert(&mut tm, lt);
+        assert_eq!(s.check(&mut tm), SatResult::Unsat);
+        s.pop();
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        // A second scope with a satisfiable refinement.
+        s.push();
+        let one = tm.int(1);
+        let ge1 = tm.ge(x, one);
+        s.assert(&mut tm, ge1);
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        s.pop();
+    }
+
+    #[test]
+    fn euf_across_scopes() {
+        // Permanent: f(x) != f(y). Scoped: x = y — unsat only inside the
+        // scope, and again in a later scope (axiom state is reused).
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Loc);
+        let y = tm.var("y", Sort::Loc);
+        let fx = tm.app("f", vec![x], Sort::Int);
+        let fy = tm.app("f", vec![y], Sort::Int);
+        let ne = tm.neq(fx, fy);
+        let eq = tm.eq(x, y);
+        let mut s = IncrementalSolver::new();
+        s.assert(&mut tm, ne);
+        for _ in 0..3 {
+            s.push();
+            s.assert(&mut tm, eq);
+            assert_eq!(s.check(&mut tm), SatResult::Unsat);
+            s.pop();
+            assert_eq!(s.check(&mut tm), SatResult::Sat);
+        }
+    }
+
+    #[test]
+    fn set_axioms_instantiate_across_scopes() {
+        // The union axiom must be instantiated at an element that only
+        // appears in a *later* scoped assertion.
+        let mut tm = TermManager::new();
+        let set = Sort::set_of(Sort::Loc);
+        let a = tm.var("A", set.clone());
+        let b = tm.var("B", set);
+        let u = tm.union(a, b);
+        let x = tm.var("x", Sort::Loc);
+        let mut s = IncrementalSolver::new();
+        // Permanent: x in A (also seeds the element pool with x).
+        let in_a = tm.member(x, a);
+        s.assert(&mut tm, in_a);
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        // Scope 1: y not in the union, y = x — new element y arrives after
+        // the union trigger was first scanned.
+        let y = tm.var("y", Sort::Loc);
+        let in_u = tm.member(y, u);
+        let not_in_u = tm.not(in_u);
+        let eq_xy = tm.eq(x, y);
+        s.push();
+        s.assert(&mut tm, not_in_u);
+        s.assert(&mut tm, eq_xy);
+        assert_eq!(s.check(&mut tm), SatResult::Unsat);
+        s.pop();
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+    }
+
+    #[test]
+    fn check_valid_scoped_matches_fresh_solver() {
+        // key(x) <= k, k <= key(y) |= key(x) <= key(y); but not key(x) < key(y).
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Loc);
+        let y = tm.var("y", Sort::Loc);
+        let k = tm.var("k", Sort::Int);
+        let kx = tm.app("key", vec![x], Sort::Int);
+        let ky = tm.app("key", vec![y], Sort::Int);
+        let h1 = tm.le(kx, k);
+        let h2 = tm.le(k, ky);
+        let goal1 = tm.le(kx, ky);
+        let goal2 = tm.lt(kx, ky);
+
+        let mut inc = IncrementalSolver::new();
+        inc.assert(&mut tm, h1);
+        inc.assert(&mut tm, h2);
+        for (goal, _name) in [(goal1, "le"), (goal2, "lt")] {
+            let got = inc.check_valid_scoped(&mut tm, goal);
+            let mut fresh = Solver::new();
+            let mut tm2 = tm.clone();
+            let imp = {
+                let ante = tm2.and2(h1, h2);
+                tm2.implies(ante, goal)
+            };
+            let want = fresh.check_valid(&mut tm2, imp);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn quantified_input_degrades_to_unknown() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Loc);
+        let p = tm.app("p", vec![x], Sort::Bool);
+        let all = tm.forall(vec![("x".into(), Sort::Loc)], p);
+        let mut s = IncrementalSolver::new();
+        s.assert(&mut tm, all);
+        assert_eq!(s.check(&mut tm), SatResult::Unknown);
+    }
+
+    #[test]
+    fn stats_track_per_check_deltas() {
+        let mut tm = TermManager::new();
+        let p = tm.var("p", Sort::Bool);
+        let x = tm.var("x", Sort::Int);
+        let zero = tm.int(0);
+        let one = tm.int(1);
+        let five = tm.int(5);
+        let le0 = tm.le(x, zero);
+        let le1 = tm.le(x, one);
+        let np = tm.not(p);
+        let c1 = tm.implies(p, le0);
+        let c2 = tm.implies(np, le1);
+        let c3 = tm.ge(x, five);
+        let mut s = IncrementalSolver::new();
+        s.assert(&mut tm, c1);
+        s.assert(&mut tm, c2);
+        s.push();
+        s.assert(&mut tm, c3);
+        assert_eq!(s.check(&mut tm), SatResult::Unsat);
+        let first = s.stats();
+        assert!(first.theory_rounds > 0);
+        s.pop();
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        let second = s.stats();
+        // Counters are per-check deltas, not cumulative: the second check
+        // starts its round count from scratch.
+        assert!(second.theory_rounds >= 1);
+    }
+}

@@ -48,6 +48,7 @@
 pub mod cnf;
 pub mod euf;
 pub mod hash;
+pub mod incremental;
 pub mod lower;
 pub mod model;
 pub mod quant;
@@ -60,9 +61,20 @@ pub mod term;
 pub mod theory;
 
 pub use hash::structural_hash;
+pub use incremental::IncrementalSolver;
 pub use model::Model;
 pub use rational::Rat;
 pub use sat::SatResult;
 pub use smtlib::to_smtlib;
 pub use solver::{Solver, SolverConfig, SolverStats};
 pub use term::{Op, Sort, Term, TermId, TermManager};
+
+/// Fingerprint of the solver/lowering logic, embedded in the on-disk VC cache
+/// header so that cached verdicts produced by a different solver generation
+/// are invalidated instead of silently replayed.
+///
+/// **Bump this constant whenever a change to this crate (or to the VC
+/// lowering/encoding semantics upstream of it) could alter a verdict.**
+/// History: 1 = PR-2 solver (implicit, cache format v1); 2 = incremental
+/// sessions + per-(name, sort) variable interning.
+pub const SOLVER_LOGIC_FINGERPRINT: u64 = 2;

@@ -24,20 +24,11 @@ use crate::term::{Op, Sort, TermId, TermManager};
 /// Lowers the conjunction of `roots`; returns the new conjunction of roots
 /// (original assertions rewritten, plus instantiated axioms).
 pub fn lower(tm: &mut TermManager, roots: &[TermId]) -> Vec<TermId> {
-    let mut side: Vec<TermId> = Vec::new();
-    let mut cache: HashMap<TermId, TermId> = HashMap::new();
-    let mut rewritten: Vec<TermId> = roots
-        .iter()
-        .map(|&r| rewrite(tm, r, &mut cache, &mut side))
-        .collect();
-    rewritten.append(&mut side);
-
-    let axioms = instantiate(tm, &rewritten);
-    rewritten.extend(axioms);
-
-    let lemmas = trichotomy(tm, &rewritten);
-    rewritten.extend(lemmas);
-    rewritten
+    let mut ctx = LowerCtx::new();
+    let batch = ctx.add(tm, roots);
+    let mut out = batch.roots;
+    out.extend(batch.facts);
+    out
 }
 
 /// Rewrites away non-Boolean `ite` and `distinct`.
@@ -148,17 +139,20 @@ fn infer_sort(tm: &TermManager, op: &Op, args: &[TermId]) -> Sort {
     }
 }
 
-/// Per-sort pools of relevant index/element terms.
-#[derive(Default)]
+/// Per-sort pools of relevant index/element terms. Pools are append-only —
+/// the incremental lowering context's watermarks index into them — with an
+/// O(1) membership set on the side (a term's sort is unique, so one global
+/// set covers every pool).
+#[derive(Debug, Default)]
 struct Pools {
     by_sort: HashMap<Sort, Vec<TermId>>,
+    pooled: HashSet<TermId>,
 }
 
 impl Pools {
     fn add(&mut self, sort: &Sort, t: TermId) {
-        let v = self.by_sort.entry(sort.clone()).or_default();
-        if !v.contains(&t) {
-            v.push(t);
+        if self.pooled.insert(t) {
+            self.by_sort.entry(sort.clone()).or_default().push(t);
         }
     }
 
@@ -175,256 +169,368 @@ fn elem_sort_of_container(sort: &Sort) -> Option<Sort> {
     }
 }
 
-/// Instantiates the ground axioms of the set/array theory over the relevant
-/// index/element terms.
-fn instantiate(tm: &mut TermManager, roots: &[TermId]) -> Vec<TermId> {
-    let subterms = tm.subterms(roots);
-
-    // 1. Gather the relevant index/element pool per element sort, and the
-    //    terms we need to axiomatise.
-    let mut pools = Pools::default();
-    let mut stores: Vec<TermId> = Vec::new();
-    let mut map_ites: Vec<TermId> = Vec::new();
-    let mut compound_sets: Vec<TermId> = Vec::new();
-    let mut subset_atoms: Vec<TermId> = Vec::new();
-    let mut container_eq_atoms: Vec<TermId> = Vec::new();
-
-    for &t in &subterms {
-        let term = tm.term(t).clone();
-        match &term.op {
-            Op::Member => {
-                let elem = term.args[0];
-                let sort = tm.sort(elem).clone();
-                pools.add(&sort, elem);
-            }
-            Op::Singleton => {
-                let elem = term.args[0];
-                let sort = tm.sort(elem).clone();
-                pools.add(&sort, elem);
-                compound_sets.push(t);
-            }
-            Op::Union | Op::Inter | Op::Diff | Op::EmptySet(_) => {
-                compound_sets.push(t);
-            }
-            Op::Select => {
-                let idx = term.args[1];
-                let sort = tm.sort(idx).clone();
-                pools.add(&sort, idx);
-            }
-            Op::Store => {
-                let idx = term.args[1];
-                let sort = tm.sort(idx).clone();
-                pools.add(&sort, idx);
-                stores.push(t);
-            }
-            Op::MapIte => {
-                map_ites.push(t);
-            }
-            Op::Subset => {
-                subset_atoms.push(t);
-            }
-            Op::Eq if tm.sort(term.args[0]).is_container() => {
-                container_eq_atoms.push(t);
-            }
-            _ => {}
-        }
-    }
-
-    // 2. Create Skolem witnesses for subset atoms and container equality
-    //    atoms, adding them to the pools *before* instantiation.
-    let mut subset_witness: HashMap<TermId, TermId> = HashMap::new();
-    for &a in &subset_atoms {
-        let s = tm.term(a).args[0];
-        if let Some(elem_sort) = elem_sort_of_container(&tm.sort(s).clone()) {
-            let w = tm.fresh_var("sub_w", elem_sort.clone());
-            pools.add(&elem_sort, w);
-            subset_witness.insert(a, w);
-        }
-    }
-    let mut eq_witness: HashMap<TermId, TermId> = HashMap::new();
-    for &a in &container_eq_atoms {
-        let s = tm.term(a).args[0];
-        if let Some(elem_sort) = elem_sort_of_container(&tm.sort(s).clone()) {
-            let w = tm.fresh_var("ext_w", elem_sort.clone());
-            pools.add(&elem_sort, w);
-            eq_witness.insert(a, w);
-        }
-    }
-
-    let mut axioms: Vec<TermId> = Vec::new();
-    let mut seen: HashSet<TermId> = HashSet::new();
-    let mut push = |tm: &mut TermManager, ax: TermId, axioms: &mut Vec<TermId>| {
-        if tm.term(ax).op != Op::True && seen.insert(ax) {
-            axioms.push(ax);
-        }
-    };
-
-    // 3. Membership axioms for compound set terms, at every pooled element.
-    for &s in &compound_sets {
-        let term = tm.term(s).clone();
-        let elem_sort = match elem_sort_of_container(&term.sort) {
-            Some(e) => e,
-            None => continue,
-        };
-        for &e in pools.get(&elem_sort).to_vec().iter() {
-            let mem = tm.member(e, s);
-            let def = match &term.op {
-                Op::EmptySet(_) => {
-                    let f = tm.fls();
-                    tm.iff(mem, f)
-                }
-                Op::Singleton => {
-                    let eq = tm.eq(e, term.args[0]);
-                    tm.iff(mem, eq)
-                }
-                Op::Union => {
-                    let m1 = tm.member(e, term.args[0]);
-                    let m2 = tm.member(e, term.args[1]);
-                    let d = tm.or2(m1, m2);
-                    tm.iff(mem, d)
-                }
-                Op::Inter => {
-                    let m1 = tm.member(e, term.args[0]);
-                    let m2 = tm.member(e, term.args[1]);
-                    let c = tm.and2(m1, m2);
-                    tm.iff(mem, c)
-                }
-                Op::Diff => {
-                    let m1 = tm.member(e, term.args[0]);
-                    let m2 = tm.member(e, term.args[1]);
-                    let nm2 = tm.not(m2);
-                    let c = tm.and2(m1, nm2);
-                    tm.iff(mem, c)
-                }
-                _ => unreachable!(),
-            };
-            push(tm, def, &mut axioms);
-        }
-    }
-
-    // 4. Read-over-write axioms for stores, at every pooled index.
-    for &st in &stores {
-        let term = tm.term(st).clone();
-        let (base, idx, val) = (term.args[0], term.args[1], term.args[2]);
-        let idx_sort = tm.sort(idx).clone();
-        for &j in pools.get(&idx_sort).to_vec().iter() {
-            let sel = tm.select(st, j);
-            let eq_idx = tm.eq(j, idx);
-            let sel_val = tm.eq(sel, val);
-            let hit = tm.implies(eq_idx, sel_val);
-            let sel_base = tm.select(base, j);
-            let sel_pass = tm.eq(sel, sel_base);
-            let ne = tm.not(eq_idx);
-            let miss = tm.implies(ne, sel_pass);
-            push(tm, hit, &mut axioms);
-            push(tm, miss, &mut axioms);
-        }
-    }
-
-    // 5. Pointwise frame-update axioms for MapIte, at every pooled index.
-    for &mi in &map_ites {
-        let term = tm.term(mi).clone();
-        let (modset, m_new, m_old) = (term.args[0], term.args[1], term.args[2]);
-        let idx_sort = match elem_sort_of_container(&term.sort) {
-            Some(s) => s,
-            None => continue,
-        };
-        for &j in pools.get(&idx_sort).to_vec().iter() {
-            let sel = tm.select(mi, j);
-            let in_mod = tm.member(j, modset);
-            let sel_new = tm.select(m_new, j);
-            let sel_old = tm.select(m_old, j);
-            let eq_new = tm.eq(sel, sel_new);
-            let eq_old = tm.eq(sel, sel_old);
-            let hit = tm.implies(in_mod, eq_new);
-            let nm = tm.not(in_mod);
-            let miss = tm.implies(nm, eq_old);
-            push(tm, hit, &mut axioms);
-            push(tm, miss, &mut axioms);
-        }
-    }
-
-    // 6. Subset atoms: positive side (pointwise, guarded), negative side
-    //    (Skolem witness).
-    for &a in &subset_atoms {
-        let term = tm.term(a).clone();
-        let (s, t) = (term.args[0], term.args[1]);
-        let elem_sort = match elem_sort_of_container(&tm.sort(s).clone()) {
-            Some(e) => e,
-            None => continue,
-        };
-        for &e in pools.get(&elem_sort).to_vec().iter() {
-            let ms = tm.member(e, s);
-            let mt = tm.member(e, t);
-            let imp = tm.implies(ms, mt);
-            let ax = tm.implies(a, imp);
-            push(tm, ax, &mut axioms);
-        }
-        if let Some(&w) = subset_witness.get(&a) {
-            let ms = tm.member(w, s);
-            let mt = tm.member(w, t);
-            let nmt = tm.not(mt);
-            let both = tm.and2(ms, nmt);
-            let na = tm.not(a);
-            let ax = tm.implies(na, both);
-            push(tm, ax, &mut axioms);
-        }
-    }
-
-    // 7. Container equality atoms: guarded pointwise congruence plus
-    //    extensionality witness for the negative side.
-    for &a in &container_eq_atoms {
-        let term = tm.term(a).clone();
-        let (s, t) = (term.args[0], term.args[1]);
-        let sort = tm.sort(s).clone();
-        let elem_sort = match elem_sort_of_container(&sort) {
-            Some(e) => e,
-            None => continue,
-        };
-        let is_set = matches!(sort, Sort::Set(_));
-        for &e in pools.get(&elem_sort).to_vec().iter() {
-            let (vs, vt) = if is_set {
-                (tm.member(e, s), tm.member(e, t))
-            } else {
-                (tm.select(s, e), tm.select(t, e))
-            };
-            let eq = tm.eq(vs, vt);
-            let ax = tm.implies(a, eq);
-            push(tm, ax, &mut axioms);
-        }
-        if let Some(&w) = eq_witness.get(&a) {
-            let (vs, vt) = if is_set {
-                (tm.member(w, s), tm.member(w, t))
-            } else {
-                (tm.select(s, w), tm.select(t, w))
-            };
-            let ne = tm.neq(vs, vt);
-            let na = tm.not(a);
-            let ax = tm.implies(na, ne);
-            push(tm, ax, &mut axioms);
-        }
-    }
-
-    // The axioms may themselves contain new compound structure only in the
-    // shape of `member`/`select` over existing terms, so one round suffices.
-    axioms
+/// The output of one [`LowerCtx::add`] call.
+///
+/// `roots` are the rewritten input assertions — they carry the *assertion*
+/// semantics and must be asserted in whatever scope the caller is in.
+/// `facts` are definitional side conditions, instantiated theory axioms and
+/// trichotomy lemmas: all of them are valid (or definitional over globally
+/// fresh symbols), so a push/pop solver may assert them permanently even when
+/// the triggering assertion later gets retracted.
+pub struct LoweredBatch {
+    /// Rewritten input assertions, in input order.
+    pub roots: Vec<TermId>,
+    /// Permanent facts: `ite` elimination definitions, instantiated axioms,
+    /// trichotomy lemmas — in emission order.
+    pub facts: Vec<TermId>,
 }
 
-/// Adds `a = b ∨ a < b ∨ b < a` for every numeric equality atom.
-fn trichotomy(tm: &mut TermManager, roots: &[TermId]) -> Vec<TermId> {
-    let subterms = tm.subterms(roots);
-    let mut lemmas = Vec::new();
-    for t in subterms {
-        let term = tm.term(t).clone();
-        if term.op == Op::Eq && tm.sort(term.args[0]).is_numeric() {
-            let (a, b) = (term.args[0], term.args[1]);
-            let lt_ab = tm.lt(a, b);
-            let lt_ba = tm.lt(b, a);
-            let lemma = tm.or(vec![t, lt_ab, lt_ba]);
-            lemmas.push(lemma);
+/// A persistent, incremental lowering context.
+///
+/// The batch [`lower`] pass instantiates the set/array axioms over the ground
+/// index/element terms of *one* query. An incremental session instead feeds
+/// assertions in piecemeal (a method's shared hypotheses once, then each
+/// goal); this context keeps every pool, trigger and Skolem witness across
+/// calls so that each [`LowerCtx::add`] emits exactly the *new* axioms —
+/// the cross products `new trigger × known elements` and
+/// `known triggers × new elements` — and never re-lowers what came before.
+///
+/// All emitted facts are sound to keep asserted forever: instantiated axioms
+/// are valid theory facts, and each Skolem witness is a globally fresh
+/// variable constrained only by the Skolemization of a valid existential, so
+/// retracting the assertion that introduced them never makes retained facts
+/// spurious.
+#[derive(Debug, Default)]
+pub struct LowerCtx {
+    rewrite_cache: HashMap<TermId, TermId>,
+    /// Sub-terms already categorized into pools/triggers.
+    scanned: HashSet<TermId>,
+    pools: Pools,
+    // Every trigger carries a *watermark*: how many elements of its pool it
+    // has already been instantiated against. Pools are append-only, so each
+    // (trigger, element) pair is constructed exactly once across all `add`
+    // calls — new triggers start at 0 and consume the whole pool, old
+    // triggers only consume the pool's new tail.
+    stores: Vec<(TermId, usize)>,
+    map_ites: Vec<(TermId, usize)>,
+    compound_sets: Vec<(TermId, usize)>,
+    subset_atoms: Vec<(TermId, usize)>,
+    container_eq_atoms: Vec<(TermId, usize)>,
+    subset_witness: HashMap<TermId, TermId>,
+    eq_witness: HashMap<TermId, TermId>,
+    /// Witness axioms already emitted (their trigger atoms may be revisited).
+    emitted: HashSet<TermId>,
+    /// Sub-terms already scanned for trichotomy lemmas.
+    trich_scanned: HashSet<TermId>,
+}
+
+impl LowerCtx {
+    /// Creates an empty context.
+    pub fn new() -> LowerCtx {
+        LowerCtx::default()
+    }
+
+    /// Lowers additional assertions against everything added before.
+    pub fn add(&mut self, tm: &mut TermManager, roots: &[TermId]) -> LoweredBatch {
+        let mut side: Vec<TermId> = Vec::new();
+        let rewritten: Vec<TermId> = roots
+            .iter()
+            .map(|&r| rewrite(tm, r, &mut self.rewrite_cache, &mut side))
+            .collect();
+
+        let mut scan_roots: Vec<TermId> = rewritten.clone();
+        scan_roots.extend(side.iter().copied());
+        self.scan(tm, &scan_roots);
+
+        let mut axioms: Vec<TermId> = Vec::new();
+        self.emit_axioms(tm, &mut axioms);
+
+        let mut trich_roots = scan_roots;
+        trich_roots.extend(axioms.iter().copied());
+        let mut lemmas: Vec<TermId> = Vec::new();
+        self.trichotomy(tm, &trich_roots, &mut lemmas);
+
+        let mut facts = side;
+        facts.extend(axioms);
+        facts.extend(lemmas);
+        LoweredBatch {
+            roots: rewritten,
+            facts,
         }
     }
-    lemmas
+
+    /// Categorizes the not-yet-seen sub-terms of `roots` into element pools
+    /// and axiom triggers, creating Skolem witnesses for new subset/equality
+    /// atoms (witnesses join the pools like any other element).
+    fn scan(&mut self, tm: &mut TermManager, roots: &[TermId]) {
+        let mut new_subsets: Vec<TermId> = Vec::new();
+        let mut new_eqs: Vec<TermId> = Vec::new();
+        // Same stack DFS as `TermManager::subterms`, but with the persistent
+        // visited set so repeated calls only walk new structure.
+        let mut stack: Vec<TermId> = roots.to_vec();
+        while let Some(t) = stack.pop() {
+            if !self.scanned.insert(t) {
+                continue;
+            }
+            let term = tm.term(t).clone();
+            stack.extend(term.args.iter().copied());
+            match &term.op {
+                Op::Member => {
+                    let elem = term.args[0];
+                    let sort = tm.sort(elem).clone();
+                    self.pools.add(&sort, elem);
+                }
+                Op::Singleton => {
+                    let elem = term.args[0];
+                    let sort = tm.sort(elem).clone();
+                    self.pools.add(&sort, elem);
+                    self.compound_sets.push((t, 0));
+                }
+                Op::Union | Op::Inter | Op::Diff | Op::EmptySet(_) => {
+                    self.compound_sets.push((t, 0));
+                }
+                Op::Select => {
+                    let idx = term.args[1];
+                    let sort = tm.sort(idx).clone();
+                    self.pools.add(&sort, idx);
+                }
+                Op::Store => {
+                    let idx = term.args[1];
+                    let sort = tm.sort(idx).clone();
+                    self.pools.add(&sort, idx);
+                    self.stores.push((t, 0));
+                }
+                Op::MapIte => {
+                    self.map_ites.push((t, 0));
+                }
+                Op::Subset => {
+                    self.subset_atoms.push((t, 0));
+                    new_subsets.push(t);
+                }
+                Op::Eq if tm.sort(term.args[0]).is_container() => {
+                    self.container_eq_atoms.push((t, 0));
+                    new_eqs.push(t);
+                }
+                _ => {}
+            }
+        }
+        // Skolem witnesses for the new subset/equality atoms, added to the
+        // pools *before* instantiation.
+        for a in new_subsets {
+            let s = tm.term(a).args[0];
+            if let Some(elem_sort) = elem_sort_of_container(&tm.sort(s).clone()) {
+                let w = tm.fresh_var("sub_w", elem_sort.clone());
+                self.pools.add(&elem_sort, w);
+                self.subset_witness.insert(a, w);
+            }
+        }
+        for a in new_eqs {
+            let s = tm.term(a).args[0];
+            if let Some(elem_sort) = elem_sort_of_container(&tm.sort(s).clone()) {
+                let w = tm.fresh_var("ext_w", elem_sort.clone());
+                self.pools.add(&elem_sort, w);
+                self.eq_witness.insert(a, w);
+            }
+        }
+    }
+
+    /// Emits the axioms of every not-yet-covered (trigger, element) pair:
+    /// each trigger consumes its pool from its watermark to the current end,
+    /// so repeated `add` calls never re-construct candidate axiom terms for
+    /// pairs handled before. The per-atom Skolem witness axioms go through
+    /// the `emitted` set (one cheap candidate per atom per call).
+    fn emit_axioms(&mut self, tm: &mut TermManager, axioms: &mut Vec<TermId>) {
+        let emitted = &mut self.emitted;
+        let mut push = |tm: &mut TermManager, ax: TermId, axioms: &mut Vec<TermId>| {
+            if tm.term(ax).op != Op::True && emitted.insert(ax) {
+                axioms.push(ax);
+            }
+        };
+        // Snapshot of a trigger's uncovered pool tail (cloned so `tm` can be
+        // mutated while iterating), advancing the watermark to the end.
+        let pools = &self.pools;
+        let tail = |mark: &mut usize, elem_sort: &Sort| -> Vec<TermId> {
+            let pool = pools.get(elem_sort);
+            let new = pool[*mark..].to_vec();
+            *mark = pool.len();
+            new
+        };
+
+        // 1. Membership axioms for compound set terms, at every pooled element.
+        for (s, mark) in self.compound_sets.iter_mut() {
+            let s = *s;
+            let term = tm.term(s).clone();
+            let elem_sort = match elem_sort_of_container(&term.sort) {
+                Some(e) => e,
+                None => continue,
+            };
+            for e in tail(mark, &elem_sort) {
+                let mem = tm.member(e, s);
+                let def = match &term.op {
+                    Op::EmptySet(_) => {
+                        let f = tm.fls();
+                        tm.iff(mem, f)
+                    }
+                    Op::Singleton => {
+                        let eq = tm.eq(e, term.args[0]);
+                        tm.iff(mem, eq)
+                    }
+                    Op::Union => {
+                        let m1 = tm.member(e, term.args[0]);
+                        let m2 = tm.member(e, term.args[1]);
+                        let d = tm.or2(m1, m2);
+                        tm.iff(mem, d)
+                    }
+                    Op::Inter => {
+                        let m1 = tm.member(e, term.args[0]);
+                        let m2 = tm.member(e, term.args[1]);
+                        let c = tm.and2(m1, m2);
+                        tm.iff(mem, c)
+                    }
+                    Op::Diff => {
+                        let m1 = tm.member(e, term.args[0]);
+                        let m2 = tm.member(e, term.args[1]);
+                        let nm2 = tm.not(m2);
+                        let c = tm.and2(m1, nm2);
+                        tm.iff(mem, c)
+                    }
+                    _ => unreachable!(),
+                };
+                push(tm, def, axioms);
+            }
+        }
+
+        // 2. Read-over-write axioms for stores, at every pooled index.
+        for (st, mark) in self.stores.iter_mut() {
+            let st = *st;
+            let term = tm.term(st).clone();
+            let (base, idx, val) = (term.args[0], term.args[1], term.args[2]);
+            let idx_sort = tm.sort(idx).clone();
+            for j in tail(mark, &idx_sort) {
+                let sel = tm.select(st, j);
+                let eq_idx = tm.eq(j, idx);
+                let sel_val = tm.eq(sel, val);
+                let hit = tm.implies(eq_idx, sel_val);
+                let sel_base = tm.select(base, j);
+                let sel_pass = tm.eq(sel, sel_base);
+                let ne = tm.not(eq_idx);
+                let miss = tm.implies(ne, sel_pass);
+                push(tm, hit, axioms);
+                push(tm, miss, axioms);
+            }
+        }
+
+        // 3. Pointwise frame-update axioms for MapIte, at every pooled index.
+        for (mi, mark) in self.map_ites.iter_mut() {
+            let mi = *mi;
+            let term = tm.term(mi).clone();
+            let (modset, m_new, m_old) = (term.args[0], term.args[1], term.args[2]);
+            let idx_sort = match elem_sort_of_container(&term.sort) {
+                Some(s) => s,
+                None => continue,
+            };
+            for j in tail(mark, &idx_sort) {
+                let sel = tm.select(mi, j);
+                let in_mod = tm.member(j, modset);
+                let sel_new = tm.select(m_new, j);
+                let sel_old = tm.select(m_old, j);
+                let eq_new = tm.eq(sel, sel_new);
+                let eq_old = tm.eq(sel, sel_old);
+                let hit = tm.implies(in_mod, eq_new);
+                let nm = tm.not(in_mod);
+                let miss = tm.implies(nm, eq_old);
+                push(tm, hit, axioms);
+                push(tm, miss, axioms);
+            }
+        }
+
+        // 4. Subset atoms: positive side (pointwise, guarded), negative side
+        //    (Skolem witness).
+        for (a, mark) in self.subset_atoms.iter_mut() {
+            let a = *a;
+            let term = tm.term(a).clone();
+            let (s, t) = (term.args[0], term.args[1]);
+            let elem_sort = match elem_sort_of_container(&tm.sort(s).clone()) {
+                Some(e) => e,
+                None => continue,
+            };
+            for e in tail(mark, &elem_sort) {
+                let ms = tm.member(e, s);
+                let mt = tm.member(e, t);
+                let imp = tm.implies(ms, mt);
+                let ax = tm.implies(a, imp);
+                push(tm, ax, axioms);
+            }
+            if let Some(&w) = self.subset_witness.get(&a) {
+                let ms = tm.member(w, s);
+                let mt = tm.member(w, t);
+                let nmt = tm.not(mt);
+                let both = tm.and2(ms, nmt);
+                let na = tm.not(a);
+                let ax = tm.implies(na, both);
+                push(tm, ax, axioms);
+            }
+        }
+
+        // 5. Container equality atoms: guarded pointwise congruence plus
+        //    extensionality witness for the negative side.
+        for (a, mark) in self.container_eq_atoms.iter_mut() {
+            let a = *a;
+            let term = tm.term(a).clone();
+            let (s, t) = (term.args[0], term.args[1]);
+            let sort = tm.sort(s).clone();
+            let elem_sort = match elem_sort_of_container(&sort) {
+                Some(e) => e,
+                None => continue,
+            };
+            let is_set = matches!(sort, Sort::Set(_));
+            for e in tail(mark, &elem_sort) {
+                let (vs, vt) = if is_set {
+                    (tm.member(e, s), tm.member(e, t))
+                } else {
+                    (tm.select(s, e), tm.select(t, e))
+                };
+                let eq = tm.eq(vs, vt);
+                let ax = tm.implies(a, eq);
+                push(tm, ax, axioms);
+            }
+            if let Some(&w) = self.eq_witness.get(&a) {
+                let (vs, vt) = if is_set {
+                    (tm.member(w, s), tm.member(w, t))
+                } else {
+                    (tm.select(s, w), tm.select(t, w))
+                };
+                let ne = tm.neq(vs, vt);
+                let na = tm.not(a);
+                let ax = tm.implies(na, ne);
+                push(tm, ax, axioms);
+            }
+        }
+
+        // The axioms may themselves contain new compound structure only in
+        // the shape of `member`/`select` over existing terms, so one round
+        // suffices (same argument as the batch pass).
+    }
+
+    /// Adds `a = b ∨ a < b ∨ b < a` for every not-yet-seen numeric equality
+    /// atom among the sub-terms of `roots`.
+    fn trichotomy(&mut self, tm: &mut TermManager, roots: &[TermId], lemmas: &mut Vec<TermId>) {
+        let mut stack: Vec<TermId> = roots.to_vec();
+        while let Some(t) = stack.pop() {
+            if !self.trich_scanned.insert(t) {
+                continue;
+            }
+            let term = tm.term(t).clone();
+            stack.extend(term.args.iter().copied());
+            if term.op == Op::Eq && tm.sort(term.args[0]).is_numeric() {
+                let (a, b) = (term.args[0], term.args[1]);
+                let lt_ab = tm.lt(a, b);
+                let lt_ba = tm.lt(b, a);
+                let lemma = tm.or(vec![t, lt_ab, lt_ba]);
+                lemmas.push(lemma);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

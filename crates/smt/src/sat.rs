@@ -107,6 +107,10 @@ pub struct SatSolver {
     /// guaranteed to have at least one entry.
     order: std::collections::BinaryHeap<(u64, Var)>,
     phase: Vec<bool>,
+    /// Literals assumed true for the duration of one `solve_under` call.
+    /// Assumptions are decided before any free decision; conflict analysis
+    /// never resolves on them, so learned clauses stay globally valid.
+    assumptions: Vec<Lit>,
     ok: bool,
     /// Number of conflicts encountered (for statistics).
     pub conflicts: u64,
@@ -410,6 +414,7 @@ impl SatSolver {
     /// Searches with a conflict budget; returns [`SatResult::Unknown`] when
     /// the budget is exhausted.
     pub fn solve_with_budget(&mut self, max_conflicts: u64) -> SatResult {
+        self.assumptions.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -426,10 +431,48 @@ impl SatSolver {
     /// that each theory round only repairs the part of the assignment the new
     /// clause invalidates instead of re-enumerating the whole model.
     pub fn solve_continue(&mut self) -> SatResult {
+        self.assumptions.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
         self.search(u64::MAX)
+    }
+
+    /// Solves under temporary assumptions: the given literals are decided
+    /// before any free decision, and [`SatResult::Unsat`] means *unsatisfiable
+    /// together with the assumptions* (the solver itself stays consistent and
+    /// usable — clauses learned along the way are globally valid, because
+    /// conflict analysis resolves input/learned clauses only).
+    ///
+    /// This is the building block of the push/pop incremental solver: a scope's
+    /// clauses carry a negated activation literal, and the scope is enabled by
+    /// assuming the activation literal here.
+    pub fn solve_under(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+        self.assumptions = assumptions.to_vec();
+        let r = self.search(u64::MAX);
+        self.assumptions.clear();
+        r
+    }
+
+    /// The assumption-aware analogue of [`SatSolver::solve_continue`]: keeps
+    /// the current trail (used between theory rounds) while re-establishing
+    /// any assumption a backjump may have undone.
+    pub fn solve_continue_under(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.assumptions = assumptions.to_vec();
+        let r = self.search(u64::MAX);
+        self.assumptions.clear();
+        r
     }
 
     /// Adds a clause learned from a theory conflict while a (complete)
@@ -540,6 +583,29 @@ impl SatSolver {
                     self.backtrack(0);
                 }
             } else {
+                // Assumptions are (re-)decided before any free decision; a
+                // backjump or restart may have undone some of them.
+                let mut assumed = None;
+                for i in 0..self.assumptions.len() {
+                    let a = self.assumptions[i];
+                    match self.lit_value(a) {
+                        Value::True => continue,
+                        // Implied false by clauses and earlier assumptions
+                        // alone: unsatisfiable under the assumptions. The
+                        // clause set itself stays consistent (`ok` untouched).
+                        Value::False => return SatResult::Unsat,
+                        Value::Unassigned => {
+                            assumed = Some(a);
+                            break;
+                        }
+                    }
+                }
+                if let Some(a) = assumed {
+                    self.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(a, None);
+                    continue;
+                }
                 match self.pick_branch_var() {
                     None => return SatResult::Sat,
                     Some(v) => {
@@ -646,6 +712,42 @@ mod tests {
         assert_eq!(s.value(b), Some(true));
         s.add_clause(vec![lit(b, false)]);
         assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_retractable() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        // (~a | b) & (~a | ~b): unsat exactly when a is assumed.
+        s.add_clause(vec![lit(a, false), lit(b, true)]);
+        s.add_clause(vec![lit(a, false), lit(b, false)]);
+        assert_eq!(s.solve_under(&[lit(a, true)]), SatResult::Unsat);
+        // The solver stays usable: globally the clauses are satisfiable.
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(false));
+        assert_eq!(s.solve_under(&[lit(a, false)]), SatResult::Sat);
+        // Unsat under assumptions again, twice in a row.
+        assert_eq!(s.solve_under(&[lit(a, true)]), SatResult::Unsat);
+        assert_eq!(s.solve_under(&[lit(a, true)]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn conflicting_assumptions_detected() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![lit(a, true), lit(b, true)]);
+        assert_eq!(
+            s.solve_under(&[lit(a, false), lit(b, false)]),
+            SatResult::Unsat
+        );
+        assert_eq!(
+            s.solve_under(&[lit(a, true), lit(b, false)]),
+            SatResult::Sat
+        );
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(s.solve(), SatResult::Sat);
     }
 
     #[test]

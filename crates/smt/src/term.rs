@@ -175,7 +175,11 @@ impl fmt::Display for TermId {
 #[derive(Clone, Debug, Default)]
 pub struct TermManager {
     terms: Vec<Term>,
-    table: HashMap<(Op, Vec<TermId>), TermId>,
+    // The sort is part of the interning key so that terms that agree on
+    // operator and arguments but differ in sort stay distinct — most
+    // importantly `Op::Var` constants, where the sort is the only thing
+    // distinguishing `x: Loc` from `x: Int`.
+    table: HashMap<(Op, Vec<TermId>, Sort), TermId>,
     fresh_counter: u64,
 }
 
@@ -215,7 +219,7 @@ impl TermManager {
 
     /// Interns a term, reusing an existing identical term when possible.
     pub fn mk(&mut self, op: Op, args: Vec<TermId>, sort: Sort) -> TermId {
-        let key = (op.clone(), args.clone());
+        let key = (op.clone(), args.clone(), sort.clone());
         if let Some(&id) = self.table.get(&key) {
             return id;
         }
@@ -623,6 +627,21 @@ mod tests {
         let y = tm.var("y", Sort::Int);
         assert_eq!(tm.add(x, y), tm.add(x, y));
         assert_ne!(tm.add(x, y), tm.add(y, x));
+    }
+
+    #[test]
+    fn var_dedup_is_per_name_and_sort() {
+        // Two variables sharing a name but not a sort must stay distinct
+        // terms; dedup by name alone would alias them (and hand back the
+        // first sort for both).
+        let mut tm = TermManager::new();
+        let x_loc = tm.var("x", Sort::Loc);
+        let x_int = tm.var("x", Sort::Int);
+        assert_ne!(x_loc, x_int);
+        assert_eq!(tm.sort(x_loc), &Sort::Loc);
+        assert_eq!(tm.sort(x_int), &Sort::Int);
+        // Same name and sort still dedups.
+        assert_eq!(x_loc, tm.var("x", Sort::Loc));
     }
 
     #[test]

@@ -81,6 +81,7 @@ enum AtomKind {
 }
 
 /// Precomputed theory-checking context for a fixed set of atoms.
+#[derive(Debug)]
 pub struct TheoryChecker {
     template: EufTemplate,
     kinds: HashMap<TermId, AtomKind>,
@@ -97,20 +98,38 @@ impl TheoryChecker {
     pub fn new(tm: &mut TermManager, atoms: &[TermId]) -> TheoryChecker {
         let tru = tm.tru();
         let fls = tm.fls();
-        let mut template_universe: Vec<TermId> = atoms.to_vec();
-        template_universe.push(tru);
-        template_universe.push(fls);
-        let template = EufTemplate::new(tm, &template_universe);
+        let mut checker = TheoryChecker {
+            template: EufTemplate::new(tm, &[tru, fls]),
+            kinds: HashMap::with_capacity(atoms.len()),
+            leaf_is_int: HashMap::new(),
+            tru,
+            fls,
+        };
+        checker.extend(tm, atoms);
+        checker
+    }
 
-        let mut kinds = HashMap::with_capacity(atoms.len());
-        let mut leaf_is_int = HashMap::new();
-        for &atom in atoms {
+    /// Extends the checker with additional atoms (incremental sessions): the
+    /// congruence template grows in place instead of being rebuilt, and the
+    /// precomputed linear forms of existing atoms are reused. Atoms already
+    /// known are ignored.
+    pub fn extend(&mut self, tm: &TermManager, atoms: &[TermId]) {
+        let fresh: Vec<TermId> = atoms
+            .iter()
+            .copied()
+            .filter(|a| !self.kinds.contains_key(a))
+            .collect();
+        if fresh.is_empty() {
+            return;
+        }
+        self.template.extend(tm, &fresh);
+        for &atom in &fresh {
             let term = tm.term(atom);
             let kind = match term.op {
                 Op::Eq => {
                     let (a, b) = (term.args[0], term.args[1]);
                     let lin = if tm.sort(a).is_numeric() {
-                        Some(difference_form(tm, a, b, &mut leaf_is_int))
+                        Some(difference_form(tm, a, b, &mut self.leaf_is_int))
                     } else {
                         None
                     };
@@ -118,7 +137,7 @@ impl TheoryChecker {
                 }
                 Op::Le | Op::Lt => {
                     let (a, b) = (term.args[0], term.args[1]);
-                    let lin = difference_form(tm, a, b, &mut leaf_is_int);
+                    let lin = difference_form(tm, a, b, &mut self.leaf_is_int);
                     let both_int = tm.sort(a) == &Sort::Int && tm.sort(b) == &Sort::Int;
                     AtomKind::Ineq {
                         lin,
@@ -128,14 +147,7 @@ impl TheoryChecker {
                 }
                 _ => AtomKind::Pred,
             };
-            kinds.insert(atom, kind);
-        }
-        TheoryChecker {
-            template,
-            kinds,
-            leaf_is_int,
-            tru,
-            fls,
+            self.kinds.insert(atom, kind);
         }
     }
 

@@ -1,0 +1,181 @@
+//! Property tests for the incremental solver: on randomly generated
+//! assertion/goal sequences over the decidable fragment (EUF + arithmetic +
+//! sets), a push/pop session must return exactly the verdicts of a fresh
+//! batch solver run on the equivalent one-shot query — after any number of
+//! earlier checks and retractions have warmed the session's state.
+
+use ids_smt::{IncrementalSolver, Solver, Sort, TermId, TermManager};
+use proptest::prelude::*;
+
+/// Deterministic xorshift so the tests are reproducible without an external
+/// rand crate (same idiom as the SAT core's random tests).
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.wrapping_mul(2654435761).wrapping_add(1))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A little universe of shared terms the random formulas draw from.
+struct Universe {
+    ints: Vec<TermId>,
+    locs: Vec<TermId>,
+    sets: Vec<TermId>,
+}
+
+impl Universe {
+    fn new(tm: &mut TermManager) -> Universe {
+        let mut ints: Vec<TermId> = (0..3)
+            .map(|i| tm.var(&format!("i{}", i), Sort::Int))
+            .collect();
+        for k in -1i128..=2 {
+            ints.push(tm.int(k));
+        }
+        let locs: Vec<TermId> = (0..3)
+            .map(|i| tm.var(&format!("l{}", i), Sort::Loc))
+            .collect();
+        // Uninterpreted maps over locations give the EUF theory work to do.
+        for &l in locs.clone().iter() {
+            ints.push(tm.app("len", vec![l], Sort::Int));
+        }
+        let set = Sort::set_of(Sort::Loc);
+        let mut sets: Vec<TermId> = (0..2)
+            .map(|i| tm.var(&format!("S{}", i), set.clone()))
+            .collect();
+        let u = tm.union(sets[0], sets[1]);
+        let d = tm.diff(sets[0], sets[1]);
+        let s0 = tm.singleton(locs[0]);
+        sets.push(u);
+        sets.push(d);
+        sets.push(s0);
+        Universe { ints, locs, sets }
+    }
+}
+
+/// One random ground formula of the decidable fragment.
+fn random_formula(rng: &mut XorShift, tm: &mut TermManager, u: &Universe, depth: u32) -> TermId {
+    if depth > 0 && rng.below(2) == 0 {
+        let a = random_formula(rng, tm, u, depth - 1);
+        let b = random_formula(rng, tm, u, depth - 1);
+        return match rng.below(4) {
+            0 => tm.and2(a, b),
+            1 => tm.or2(a, b),
+            2 => tm.implies(a, b),
+            _ => {
+                let na = tm.not(a);
+                tm.or2(na, b)
+            }
+        };
+    }
+    let atom = match rng.below(4) {
+        0 => {
+            let a = u.ints[rng.below(u.ints.len() as u64) as usize];
+            let b = u.ints[rng.below(u.ints.len() as u64) as usize];
+            tm.le(a, b)
+        }
+        1 => {
+            let a = u.ints[rng.below(u.ints.len() as u64) as usize];
+            let b = u.ints[rng.below(u.ints.len() as u64) as usize];
+            tm.eq(a, b)
+        }
+        2 => {
+            let a = u.locs[rng.below(u.locs.len() as u64) as usize];
+            let b = u.locs[rng.below(u.locs.len() as u64) as usize];
+            tm.eq(a, b)
+        }
+        _ => {
+            let x = u.locs[rng.below(u.locs.len() as u64) as usize];
+            let s = u.sets[rng.below(u.sets.len() as u64) as usize];
+            tm.member(x, s)
+        }
+    };
+    if rng.below(3) == 0 {
+        tm.not(atom)
+    } else {
+        atom
+    }
+}
+
+proptest! {
+    /// A session interleaving permanent assertions with scoped goal checks
+    /// answers every check exactly like a fresh solver on the one-shot
+    /// conjunction of the live assertions.
+    #[test]
+    fn session_checks_match_fresh_solver(seed in 0u64..48) {
+        let mut rng = XorShift::new(seed);
+        let mut tm = TermManager::new();
+        let universe = Universe::new(&mut tm);
+        let mut session = IncrementalSolver::new();
+        let mut permanent: Vec<TermId> = Vec::new();
+
+        let steps = 2 + rng.below(4);
+        for _ in 0..steps {
+            // Occasionally grow the permanent assertion set (the "shared
+            // hypothesis prefix" of a method session).
+            if rng.below(2) == 0 {
+                let h = random_formula(&mut rng, &mut tm, &universe, 2);
+                permanent.push(h);
+                session.assert(&mut tm, h);
+            }
+            // One scoped goal: push / assert / check / pop.
+            let goal = random_formula(&mut rng, &mut tm, &universe, 2);
+            session.push();
+            session.assert(&mut tm, goal);
+            let incremental = session.check(&mut tm);
+            session.pop();
+
+            let mut fresh_query = permanent.clone();
+            fresh_query.push(goal);
+            let fresh = Solver::new().check(&mut tm, &fresh_query);
+            prop_assert_eq!(
+                incremental,
+                fresh,
+                "seed {} diverged (permanent: {}, goal formula differs)",
+                seed,
+                permanent.len()
+            );
+
+            // The session must also agree on the permanent set alone after
+            // the pop (retraction really retracts).
+            let after_pop = session.check(&mut tm);
+            let fresh_base = Solver::new().check(&mut tm, &permanent);
+            prop_assert_eq!(after_pop, fresh_base, "seed {} diverged after pop", seed);
+        }
+    }
+
+    /// `check_valid_scoped` agrees with the batch solver's `check_valid` on
+    /// hypothesis-entailment queries (the VC shape).
+    #[test]
+    fn scoped_validity_matches_check_valid(seed in 0u64..48) {
+        let mut rng = XorShift::new(seed);
+        let mut tm = TermManager::new();
+        let universe = Universe::new(&mut tm);
+        let mut session = IncrementalSolver::new();
+        let mut hyps: Vec<TermId> = Vec::new();
+        for _ in 0..(1 + rng.below(3)) {
+            let h = random_formula(&mut rng, &mut tm, &universe, 1);
+            hyps.push(h);
+            session.assert(&mut tm, h);
+        }
+        for _ in 0..(1 + rng.below(3)) {
+            let goal = random_formula(&mut rng, &mut tm, &universe, 2);
+            let scoped = session.check_valid_scoped(&mut tm, goal);
+            let formula = {
+                let ante = tm.and(hyps.clone());
+                tm.implies(ante, goal)
+            };
+            let fresh = Solver::new().check_valid(&mut tm, formula);
+            prop_assert_eq!(scoped, fresh, "seed {} diverged", seed);
+        }
+    }
+}

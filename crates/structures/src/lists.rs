@@ -71,8 +71,16 @@ procedure insert_front(x: Loc, k: Int) returns (r: Loc)
 }
 
 // Insert a key at the back of the list rooted at x (recursive).
+//
+// The predecessor of x (if any) must lie outside x's own tail: the recursive
+// call havocs everything in x.next.hslist, and without this requires nothing
+// rules out x.prev sitting in that heaplet, which would let the havoc break
+// the `x.prev.next == x` conjunct of LC(x) after the call. The clause is
+// self-propagating: at the recursive call site y.prev == x and LC(x) gives
+// !(x in y.hslist) directly.
 procedure insert_back(x: Loc, k: Int) returns (r: Loc)
   requires Br == {} && x != nil;
+  requires x.prev != nil ==> !(x.prev in x.hslist);
   ensures Br == ite(old(x.prev) == nil, {}, {old(x.prev)});
   ensures r == x;
   ensures r.length == old(x.length) + 1;
@@ -486,6 +494,61 @@ mod tests {
         assert!(sorted_list().lc_size() >= 10);
         assert!(sorted_list_minmax().lc_size() >= 15);
         assert_eq!(circular_list().impact_sets.len(), 6);
+    }
+
+    #[test]
+    fn insert_back_previously_refuted_lc_assert_now_verifies() {
+        // Regression for the latent benchmark bug surfaced by the PR-2
+        // driver: in the recursive branch of `insert_back`, the final
+        // `AssertLCAndRemove(x)` was refuted because nothing ruled out
+        // `x.prev` sitting inside the callee's havoc heaplet
+        // (`x.next.hslist`), letting the call frame break `x.prev.next == x`.
+        // The fix adds a self-propagating requires clause. This test checks
+        // the decisive VCs through one incremental session — the new
+        // precondition obligation at the recursive call site and the
+        // formerly refuted else-branch LC assert — rather than the whole
+        // method, whose ensures VCs take minutes and are covered by the
+        // `ids-verify suite` CLI run.
+        let ids = singly_linked_list();
+        let merged = ids_core::pipeline::load_methods(&ids, SINGLY_LINKED_LIST_METHODS).unwrap();
+        let task = ids_core::pipeline::prepare_method_in(
+            &ids,
+            &merged,
+            "insert_back",
+            ids_core::pipeline::PipelineConfig::default(),
+        )
+        .unwrap();
+        let mut lc_asserts = Vec::new();
+        let mut precondition = None;
+        for (i, vc) in task.vcs.iter().enumerate() {
+            if vc.description.contains("call insert_back precondition #2") {
+                precondition = Some(i);
+            }
+            if vc.description.starts_with("insert_back::assert")
+                && vc.description.contains("x.next.prev == x")
+            {
+                lc_asserts.push(i);
+            }
+        }
+        let precondition = precondition.expect("the fixed annotation adds a second precondition");
+        assert_eq!(
+            lc_asserts.len(),
+            2,
+            "expected the then- and else-branch LC(x) asserts"
+        );
+        let formerly_refuted = lc_asserts[1];
+        assert!(precondition < formerly_refuted);
+        let mut session =
+            ids_core::pipeline::MethodSession::new(&task).expect("decidable encoding");
+        for &i in &[precondition, formerly_refuted] {
+            let r = session.check_vc(i);
+            assert_eq!(
+                r.verdict,
+                ids_core::pipeline::VcVerdict::Valid,
+                "VC still failing: {}",
+                task.vcs[i].description
+            );
+        }
     }
 
     #[test]

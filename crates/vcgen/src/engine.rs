@@ -5,15 +5,16 @@ use ids_ivl::{Block, Expr, Lhs, Procedure, Program, Stmt, Type};
 use ids_smt::{Sort, TermId, TermManager};
 
 use crate::encode::{default_value, encode_expr, sort_of_type, Env};
-use crate::{Encoding, Vc, VcError};
+use crate::{Encoding, MethodVcs, Vc, VcError};
 
-/// Generates the verification conditions of one procedure.
+/// Generates the verification conditions of one procedure, together with the
+/// shared hypothesis list (see [`MethodVcs`]).
 pub fn generate(
     tm: &mut TermManager,
     program: &Program,
     proc: &Procedure,
     encoding: Encoding,
-) -> Result<Vec<Vc>, VcError> {
+) -> Result<MethodVcs, VcError> {
     let mut ctx = Ctx {
         program,
         encoding,
@@ -81,7 +82,10 @@ pub fn generate(
     // ------------------------------------------------------- postconditions
     ctx.check_ensures(tm, proc, &final_env, &old_env, tru, "at end of procedure")?;
 
-    Ok(ctx.vcs)
+    Ok(MethodVcs {
+        hypotheses: ctx.assumptions,
+        vcs: ctx.vcs,
+    })
 }
 
 fn declare_locals(tm: &mut TermManager, env: &mut Env, block: &Block) {
@@ -120,6 +124,7 @@ impl<'a> Ctx<'a> {
     }
 
     fn emit_vc(&mut self, tm: &mut TermManager, guard: TermId, fact: TermId, description: String) {
+        let n_hyps = self.assumptions.len();
         let mut antecedent = self.assumptions.clone();
         antecedent.push(guard);
         let ante = tm.and(antecedent);
@@ -127,6 +132,9 @@ impl<'a> Ctx<'a> {
         self.vcs.push(Vc {
             description,
             formula,
+            n_hyps,
+            guard,
+            goal: fact,
         });
         // Once checked, the fact may be assumed for the rest of the procedure.
         self.assume_guarded(tm, guard, fact);
@@ -618,8 +626,20 @@ mod tests {
         .unwrap();
         let mut tm = TermManager::new();
         let proc = program.procedure("m").unwrap();
-        let vcs = generate(&mut tm, &program, proc, Encoding::Decidable).unwrap();
-        assert_eq!(vcs.len(), 3);
+        let generated = generate(&mut tm, &program, proc, Encoding::Decidable).unwrap();
+        assert_eq!(generated.vcs.len(), 3);
+        // The hypothesis split reconstructs each VC formula exactly.
+        for vc in &generated.vcs {
+            let mut ante = generated.hypotheses[..vc.n_hyps].to_vec();
+            ante.push(vc.guard);
+            let conj = tm.and(ante);
+            let rebuilt = tm.implies(conj, vc.goal);
+            assert_eq!(rebuilt, vc.formula);
+        }
+        // Hypothesis prefixes are monotone in VC order.
+        for w in generated.vcs.windows(2) {
+            assert!(w[0].n_hyps <= w[1].n_hyps);
+        }
     }
 
     #[test]
@@ -659,11 +679,15 @@ mod tests {
         .unwrap();
         let mut tm = TermManager::new();
         let proc = program.procedure("m").unwrap();
-        let vcs = generate(&mut tm, &program, proc, Encoding::Decidable).unwrap();
+        let vcs = generate(&mut tm, &program, proc, Encoding::Decidable)
+            .unwrap()
+            .vcs;
         for vc in &vcs {
             assert!(ids_smt::smtlib::is_quantifier_free(&tm, &[vc.formula]));
         }
-        let vcs_q = generate(&mut tm, &program, proc, Encoding::Quantified).unwrap();
+        let vcs_q = generate(&mut tm, &program, proc, Encoding::Quantified)
+            .unwrap()
+            .vcs;
         let any_quantified = vcs_q
             .iter()
             .any(|vc| !ids_smt::smtlib::is_quantifier_free(&tm, &[vc.formula]));

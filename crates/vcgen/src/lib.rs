@@ -33,7 +33,9 @@ pub mod engine;
 pub mod qfcheck;
 
 use ids_ivl::Program;
-use ids_smt::{SatResult, Solver, SolverConfig, SolverStats, TermId, TermManager};
+use ids_smt::{
+    IncrementalSolver, SatResult, Solver, SolverConfig, SolverStats, TermId, TermManager,
+};
 
 pub use encode::sort_of_type;
 pub use qfcheck::{theory_profile, TheoryProfile};
@@ -63,6 +65,85 @@ pub fn check_formula(
     (result, solver.stats())
 }
 
+/// The session-aware sibling of [`check_formula`]: one incremental solver
+/// shared across all VCs of a method.
+///
+/// The session asserts the method's hypothesis list once — incrementally, as
+/// successive VCs bring more of the (monotone) prefix into scope — and checks
+/// each goal as `push; assert guard; assert ¬goal; check; pop`, so the heap
+/// axioms, local-condition definitions and typing hypotheses of the method
+/// are lowered and clause-converted exactly once instead of once per VC.
+///
+/// Only the decidable encoding is supported (see [`VcSession::supports`]);
+/// VCs must be checked in generation order (their hypothesis prefixes grow).
+pub struct VcSession {
+    solver: IncrementalSolver,
+    /// How many leading hypotheses have been asserted so far.
+    asserted: usize,
+}
+
+impl VcSession {
+    /// True if the encoding can be discharged incrementally. The quantified
+    /// (Dafny-style) RQ3 encoding performs whole-query quantifier
+    /// instantiation and keeps using the fresh-solver path.
+    pub fn supports(encoding: Encoding) -> bool {
+        encoding == Encoding::Decidable
+    }
+
+    /// Creates a session for the decidable encoding.
+    ///
+    /// # Panics
+    /// Panics if the encoding is unsupported — gate on
+    /// [`VcSession::supports`] first.
+    pub fn new(encoding: Encoding) -> VcSession {
+        assert!(
+            VcSession::supports(encoding),
+            "incremental sessions require the decidable encoding"
+        );
+        VcSession {
+            solver: IncrementalSolver::with_config(solver_config(encoding)),
+            asserted: 0,
+        }
+    }
+
+    /// Checks one VC against the session state. Returns the same
+    /// validity-oriented verdict as [`check_formula`] ([`SatResult::Sat`]
+    /// means *valid*) together with the per-query solver statistics.
+    ///
+    /// # Panics
+    /// Panics if the VC's hypothesis prefix is shorter than what the session
+    /// already asserted (VCs checked out of order).
+    pub fn check_vc(
+        &mut self,
+        tm: &mut TermManager,
+        hypotheses: &[TermId],
+        vc: &Vc,
+    ) -> (SatResult, SolverStats) {
+        assert!(
+            vc.n_hyps >= self.asserted,
+            "session VCs must be checked in generation order ({} hypotheses asserted, VC needs {})",
+            self.asserted,
+            vc.n_hyps
+        );
+        for &h in &hypotheses[self.asserted..vc.n_hyps] {
+            self.solver.assert(tm, h);
+        }
+        self.asserted = vc.n_hyps;
+        self.solver.push();
+        self.solver.assert(tm, vc.guard);
+        let neg_goal = tm.not(vc.goal);
+        self.solver.assert(tm, neg_goal);
+        let result = self.solver.check(tm);
+        self.solver.pop();
+        let verdict = match result {
+            SatResult::Unsat => SatResult::Sat, // valid
+            SatResult::Sat => SatResult::Unsat, // counterexample exists
+            SatResult::Unknown => SatResult::Unknown,
+        };
+        (verdict, self.solver.stats())
+    }
+}
+
 /// How frame conditions and allocation are encoded.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Encoding {
@@ -76,12 +157,41 @@ pub enum Encoding {
 }
 
 /// One verification condition: a formula that must be *valid*.
+///
+/// `formula` is the self-contained implication used by the fresh-solver path
+/// (and by content-addressed caching — it is the hashed artifact). The
+/// remaining fields expose the same VC *split* for incremental sessions:
+/// `formula == (hypotheses[..n_hyps] ∧ guard) ⇒ goal`, where the hypothesis
+/// list lives in [`MethodVcs::hypotheses`] and is shared — as a growing
+/// prefix — by every VC of the method.
 #[derive(Clone, Debug)]
 pub struct Vc {
     /// Human-readable description (which assert, which line of the pipeline).
     pub description: String,
     /// The formula to prove valid.
     pub formula: TermId,
+    /// How many leading entries of the method's hypothesis list are in scope.
+    pub n_hyps: usize,
+    /// The path guard under which the goal must hold.
+    pub guard: TermId,
+    /// The goal fact itself.
+    pub goal: TermId,
+}
+
+/// All verification conditions of one method, with the shared hypothesis
+/// list factored out for incremental solving.
+///
+/// The hypothesis list is *monotone*: VC `i` depends on the prefix
+/// `hypotheses[..vcs[i].n_hyps]`, and `n_hyps` never decreases along `vcs`
+/// (symbolic execution only accumulates assumptions). An incremental session
+/// therefore asserts each hypothesis exactly once, in order, and checks each
+/// goal in its own push/pop scope.
+#[derive(Clone, Debug)]
+pub struct MethodVcs {
+    /// The accumulated hypotheses, in assumption order.
+    pub hypotheses: Vec<TermId>,
+    /// The verification conditions, in generation order.
+    pub vcs: Vec<Vc>,
 }
 
 /// Errors during VC generation.
@@ -185,6 +295,12 @@ impl<'a> VcGen<'a> {
 
     /// Generates the verification conditions of the named procedure.
     pub fn vcs_for(&self, tm: &mut TermManager, proc_name: &str) -> Result<Vec<Vc>, VcError> {
+        Ok(self.method_vcs(tm, proc_name)?.vcs)
+    }
+
+    /// Generates the verification conditions of the named procedure together
+    /// with the shared hypothesis list (the input of an incremental session).
+    pub fn method_vcs(&self, tm: &mut TermManager, proc_name: &str) -> Result<MethodVcs, VcError> {
         let proc = self
             .program
             .procedure(proc_name)
@@ -249,6 +365,49 @@ mod tests {
         VcGen::new(&program, Encoding::Decidable)
             .verify(&mut tm, proc)
             .unwrap()
+    }
+
+    #[test]
+    fn session_verdicts_match_fresh_solver_per_vc() {
+        // A method with branches, heap writes, set ghost state, a failing
+        // assert in the middle and valid VCs after it: the incremental
+        // session must reproduce the fresh solver's verdict on every VC.
+        let program = parse_program(
+            r#"
+            field key: Int;
+            field ghost keys: Set<Int>;
+            procedure m(x: Loc, y: Loc, k: Int)
+              requires x != nil && y != nil;
+              ensures x.key >= 0 || x.key < 0;
+            {
+              x.key := k;
+              x.keys := union(x.keys, {k});
+              assert k in x.keys;
+              if (x == y) {
+                assert y.key == k;
+              }
+              assert x.key > 0;
+              assert x.key == k;
+            }
+            "#,
+        )
+        .unwrap();
+        ids_ivl::check_program(&program).unwrap();
+        let mut tm = TermManager::new();
+        let method = VcGen::new(&program, Encoding::Decidable)
+            .method_vcs(&mut tm, "m")
+            .unwrap();
+        assert!(method.vcs.len() >= 4);
+        let mut session = VcSession::new(Encoding::Decidable);
+        let mut saw_refuted = false;
+        for vc in &method.vcs {
+            let (fresh, _) = check_formula(&mut tm, vc.formula, Encoding::Decidable);
+            let (inc, inc_stats) = session.check_vc(&mut tm, &method.hypotheses, vc);
+            assert_eq!(inc, fresh, "verdict diverged on: {}", vc.description);
+            assert!(inc_stats.theory_rounds > 0);
+            saw_refuted |= inc == SatResult::Unsat;
+        }
+        assert!(saw_refuted, "the test method should have a refuted VC");
     }
 
     #[test]

@@ -90,6 +90,85 @@ fn warm_cache_rerun_discharges_zero_smt_queries() {
 }
 
 #[test]
+fn incremental_and_fresh_drivers_report_identically_across_structures() {
+    // One batch spanning several structure families plus a refuted method,
+    // run through incremental session units (default) and through fresh
+    // per-VC jobs (`--no-incremental`). The *reports* must be byte-identical:
+    // outcome kind and failing-VC description, VC counts, cache accounting.
+    // Only solver-internal statistics (conflicts, propagations, times) may
+    // differ between the two solving strategies.
+    use intrinsic_verify::structures::trees;
+    let sll = lists::singly_linked_list();
+    let circ = lists::circular_list();
+    let bst = trees::bst();
+    let methods = |names: &[&str]| names.iter().map(|m| m.to_string()).collect::<Vec<_>>();
+    let selections = vec![
+        Selection {
+            name: "Singly-Linked List",
+            definition: &sll,
+            methods_src: lists::SINGLY_LINKED_LIST_METHODS,
+            methods: methods(&["set_key", "find"]),
+        },
+        Selection {
+            name: "Singly-Linked List (buggy)",
+            definition: &sll,
+            methods_src: intrinsic_verify::structures::buggy::BUGGY_LIST_METHODS,
+            methods: methods(&["insert_front_forgets_length"]),
+        },
+        Selection {
+            name: "Circular List",
+            definition: &circ,
+            methods_src: lists::CIRCULAR_LIST_METHODS,
+            methods: methods(&["rotate_entry", "set_node_key"]),
+        },
+        Selection {
+            name: "Binary Search Tree",
+            definition: &bst,
+            methods_src: trees::BST_METHODS,
+            methods: methods(&["bst_find_min"]),
+        },
+    ];
+    let incremental = verify_selections(
+        &selections,
+        &DriverConfig {
+            jobs: 2,
+            ..DriverConfig::default()
+        },
+    );
+    let fresh = verify_selections(
+        &selections,
+        &DriverConfig {
+            jobs: 2,
+            incremental: false,
+            ..DriverConfig::default()
+        },
+    );
+    assert!(incremental.errors.is_empty(), "{:?}", incremental.errors);
+    assert!(fresh.errors.is_empty(), "{:?}", fresh.errors);
+    assert_eq!(incremental.reports.len(), fresh.reports.len());
+    for (a, b) in incremental.reports.iter().zip(&fresh.reports) {
+        assert_eq!(a.structure, b.structure);
+        assert_eq!(a.method, b.method);
+        // Full outcome equality: kind *and* failing-VC description.
+        assert_eq!(
+            a.outcome, b.outcome,
+            "{}::{} diverged",
+            a.structure, a.method
+        );
+        assert_eq!(a.num_vcs, b.num_vcs);
+        // Stats-consistency: both modes did real solving work. (Cancellation
+        // timing under concurrency may make the exact query counts differ;
+        // the *reported* rows above may not.)
+        if a.outcome.is_verified() {
+            assert!(a.solver.theory_rounds > 0, "{}: {:?}", a.method, a.solver);
+            assert!(b.solver.theory_rounds > 0, "{}: {:?}", b.method, b.solver);
+        }
+    }
+    assert_eq!(incremental.stats.vcs, fresh.stats.vcs);
+    assert!(!incremental.all_verified(), "the buggy method must fail");
+}
+
+#[test]
 fn failing_methods_keep_failing_under_the_driver() {
     let ids = lists::singly_linked_list();
     let selections = vec![Selection {
