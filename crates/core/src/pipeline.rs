@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use ids_ivl::{ast, parse_program, Procedure, Program};
 use ids_smt::{structural_hash, SatResult, SolverStats, TermId, TermManager};
-use ids_vcgen::{check_formula, Encoding, Vc, VcGen, VcSession, VerifyOutcome};
+use ids_vcgen::{check_formula, Encoding, StructureVcs, Vc, VcGen, VcSession, VerifyOutcome};
 
 use crate::fwyb::{expand_program, ExpandError};
 use crate::ghost::{check_ghost_legality, GhostViolation};
@@ -387,6 +387,170 @@ impl<'a> MethodSession<'a> {
     }
 }
 
+/// One warm solver pool over *all methods of one data structure*.
+///
+/// Where a [`MethodSession`] shares a solver across the VCs of one method, a
+/// `StructureSession` shares it across the methods of a structure: every
+/// task's terms are imported into one shared [`TermManager`] (structurally
+/// identical terms collapse to identical ids — [`TermManager::import`] is the
+/// cross-method hash-consing), the structure-common hypothesis prelude
+/// ([`StructureVcs`]) is lowered and asserted once at structure scope, and
+/// each method then runs inside a solver *method scope*: its residue
+/// hypotheses and everything derived from them are retracted and rolled back
+/// when [`StructureSession::end_method`] closes it, while the prelude's
+/// lowered clauses, axiom instantiations and Skolem witnesses stay warm for
+/// the next method.
+///
+/// Methods must be run one at a time ([`StructureSession::begin_method`] /
+/// [`StructureSession::end_method`]), in any order; each method's VCs must be
+/// checked in ascending index order (indices may be skipped, e.g. when a
+/// batch driver already answered some VCs from a cache). Verdicts are
+/// identical to [`MethodTask::check_vc`] and to a [`MethodSession`].
+pub struct StructureSession {
+    tm: TermManager,
+    session: VcSession,
+    methods: Vec<ImportedMethod>,
+    open: Option<usize>,
+}
+
+/// One task's hypotheses and VCs, re-expressed in the pool's shared manager.
+struct ImportedMethod {
+    hypotheses: Vec<TermId>,
+    vcs: Vec<Vc>,
+}
+
+impl StructureSession {
+    /// Opens a warm pool over the given tasks (the methods of one structure),
+    /// or `None` when their encoding cannot be discharged incrementally
+    /// (quantified RQ3 mode — all tasks of a batch share one encoding).
+    pub fn new(tasks: &[&MethodTask]) -> Option<StructureSession> {
+        let encoding = tasks.first()?.encoding;
+        if !VcSession::supports(encoding) || tasks.iter().any(|t| t.encoding != encoding) {
+            return None;
+        }
+        let group = StructureVcs::group(
+            &tasks
+                .iter()
+                .map(|t| (&t.tm, &t.hypotheses[..], &t.vcs[..]))
+                .collect::<Vec<_>>(),
+        );
+        let mut tm = TermManager::new();
+        let methods: Vec<ImportedMethod> = tasks
+            .iter()
+            .map(|task| {
+                // Import the task's *whole* manager in creation order, not
+                // just the reachable roots: term-id order feeds heuristic
+                // orderings downstream (theory literal order, conflict
+                // clause shape), so preserving each method's relative
+                // creation order keeps a pooled method's solver trajectory
+                // essentially identical to a stand-alone session's.
+                let mut memo = std::collections::HashMap::new();
+                let all: Vec<TermId> = (0..task.tm.len() as u32).map(TermId).collect();
+                tm.import(&task.tm, &all, &mut memo);
+                let hypotheses = task.hypotheses.iter().map(|h| memo[h]).collect();
+                let vcs = task
+                    .vcs
+                    .iter()
+                    .map(|vc| Vc {
+                        description: vc.description.clone(),
+                        formula: memo[&vc.formula],
+                        n_hyps: vc.n_hyps,
+                        guard: memo[&vc.guard],
+                        goal: memo[&vc.goal],
+                    })
+                    .collect();
+                ImportedMethod { hypotheses, vcs }
+            })
+            .collect();
+        // The prelude was identified by structural hash across managers;
+        // after hash-consing into the shared manager it must be id-identical
+        // (this would only fire on a 128-bit hash collision).
+        if let Some(first) = methods.iter().find(|m| !m.vcs.is_empty()) {
+            for m in &methods {
+                if !m.vcs.is_empty() {
+                    debug_assert_eq!(
+                        m.hypotheses[..group.prelude_len],
+                        first.hypotheses[..group.prelude_len]
+                    );
+                }
+            }
+        }
+        let mut session = VcSession::new(encoding);
+        if let Some(first) = methods.iter().find(|m| !m.vcs.is_empty()) {
+            session.assert_prelude(&mut tm, &first.hypotheses, group.prelude_len);
+        }
+        Some(StructureSession {
+            tm,
+            session,
+            methods,
+            open: None,
+        })
+    }
+
+    /// Opens the method scope for the task at `method_idx` (its position in
+    /// the slice the session was built from).
+    ///
+    /// # Panics
+    /// Panics if another method is still open.
+    pub fn begin_method(&mut self, method_idx: usize) {
+        assert!(self.open.is_none(), "a method is already open");
+        assert!(method_idx < self.methods.len());
+        self.session.begin_method();
+        self.open = Some(method_idx);
+    }
+
+    /// Closes the open method scope, rolling the pool back to its
+    /// structure-scope state.
+    pub fn end_method(&mut self) {
+        assert!(self.open.take().is_some(), "no method open");
+        self.session.end_method();
+    }
+
+    /// Discharges one VC of the open method. Semantics (verdict kind, per-VC
+    /// statistics shape) match [`MethodTask::check_vc`].
+    ///
+    /// # Panics
+    /// Panics if no method is open, or on out-of-order VC indices.
+    pub fn check_vc(&mut self, method_idx: usize, vc_index: usize) -> VcResult {
+        assert_eq!(self.open, Some(method_idx), "method not open");
+        let start = Instant::now();
+        let method = &self.methods[method_idx];
+        let (result, stats) =
+            self.session
+                .check_vc(&mut self.tm, &method.hypotheses, &method.vcs[vc_index]);
+        let verdict = match result {
+            SatResult::Sat => VcVerdict::Valid,
+            SatResult::Unsat => VcVerdict::Refuted,
+            SatResult::Unknown => VcVerdict::Unknown,
+        };
+        VcResult {
+            vc_index,
+            verdict,
+            stats,
+            time: start.elapsed(),
+            cached: false,
+        }
+    }
+
+    /// Convenience: runs one method's VCs in order inside its own scope,
+    /// stopping at the first non-valid result (sequential early-stop
+    /// semantics).
+    pub fn run_method(&mut self, method_idx: usize) -> Vec<VcResult> {
+        self.begin_method(method_idx);
+        let mut out = Vec::with_capacity(self.methods[method_idx].vcs.len());
+        for i in 0..self.methods[method_idx].vcs.len() {
+            let r = self.check_vc(method_idx, i);
+            let stop = r.verdict != VcVerdict::Valid;
+            out.push(r);
+            if stop {
+                break;
+            }
+        }
+        self.end_method();
+        out
+    }
+}
+
 /// Parses a method file and merges it with the definition's field prelude.
 pub fn load_methods(
     ids: &IntrinsicDefinition,
@@ -678,6 +842,115 @@ mod tests {
         let (rs, ri) = (task.report(&seq), task.report(&inc));
         assert_eq!(rs.outcome, ri.outcome, "reported outcome must match");
         assert!(!ri.outcome.is_verified());
+    }
+
+    #[test]
+    fn structure_session_matches_per_method_runners() {
+        // Three methods of one structure — a verifying FWYB method, a cheap
+        // check-only method and a refuted method — run through ONE warm
+        // structure pool. Result lengths (early stop included) and verdicts
+        // must match both the fresh-per-VC runner and the per-method
+        // session; later methods must visibly reuse the structure prelude.
+        let ids = list_ids();
+        let methods = r#"
+            procedure insert_front(x: Loc) returns (r: Loc)
+              requires Br == {} && x != nil && x.prev == nil;
+              ensures Br == {} && r != nil && r.prev == nil;
+              modifies {};
+            {
+              InferLCOutsideBr(x);
+              var z: Loc;
+              NewObj(z);
+              Mut(z, next, x);
+              Mut(z, length, x.length + 1);
+              Mut(z, prev, nil);
+              Mut(x, prev, z);
+              AssertLCAndRemove(z);
+              AssertLCAndRemove(x);
+              r := z;
+            }
+            procedure touch(x: Loc)
+              requires Br == {} && x != nil;
+              ensures Br == {};
+              modifies {};
+            {
+              InferLCOutsideBr(x);
+              AssertLCAndRemove(x);
+            }
+            procedure detach_bad(x: Loc)
+              requires Br == {} && x != nil;
+              ensures Br == {};
+              modifies {};
+            {
+              Mut(x, next, nil);
+            }
+        "#;
+        let merged = load_methods(&ids, methods).unwrap();
+        let tasks: Vec<MethodTask> = ["insert_front", "touch", "detach_bad"]
+            .iter()
+            .map(|m| prepare_method_in(&ids, &merged, m, PipelineConfig::default()).unwrap())
+            .collect();
+        let task_refs: Vec<&MethodTask> = tasks.iter().collect();
+        let mut pool = StructureSession::new(&task_refs).expect("decidable encoding");
+        for (mi, task) in tasks.iter().enumerate() {
+            let pooled = pool.run_method(mi);
+            let seq = task.run_sequential();
+            let inc = task.run_session();
+            assert_eq!(pooled.len(), seq.len(), "{}: early stop", task.method);
+            assert_eq!(pooled.len(), inc.len());
+            for ((p, s), i) in pooled.iter().zip(&seq).zip(&inc) {
+                assert_eq!(p.vc_index, s.vc_index);
+                assert_eq!(
+                    p.verdict, s.verdict,
+                    "{} vc#{} diverged from sequential",
+                    task.method, p.vc_index
+                );
+                assert_eq!(p.verdict, i.verdict);
+            }
+            assert_eq!(
+                task.report(&pooled).outcome,
+                task.report(&seq).outcome,
+                "{}: outcome",
+                task.method
+            );
+            let reused: u64 = pooled.iter().map(|r| r.stats.prelude_reused).sum();
+            if mi > 0 {
+                assert!(
+                    reused > 0,
+                    "{}: expected structure-prelude reuse, stats {:?}",
+                    task.method,
+                    pooled[0].stats
+                );
+            }
+        }
+        assert!(!tasks[2].report(&pool.run_method(2)).outcome.is_verified());
+    }
+
+    #[test]
+    fn structure_session_allows_skipped_vc_indices() {
+        // The driver skips cache-answered VCs: checking a sparse ascending
+        // subset must work and agree with the fresh runner.
+        let ids = list_ids();
+        let methods = r#"
+            procedure touch(x: Loc)
+              requires Br == {} && x != nil;
+              ensures Br == {};
+              modifies {};
+            {
+              InferLCOutsideBr(x);
+              AssertLCAndRemove(x);
+            }
+        "#;
+        let merged = load_methods(&ids, methods).unwrap();
+        let task = prepare_method_in(&ids, &merged, "touch", PipelineConfig::default()).unwrap();
+        assert!(task.num_vcs() >= 2);
+        let task_refs = [&task];
+        let mut pool = StructureSession::new(&task_refs).unwrap();
+        pool.begin_method(0);
+        let last = task.num_vcs() - 1;
+        let sparse = pool.check_vc(0, last);
+        pool.end_method();
+        assert_eq!(sparse.verdict, task.check_vc(last).verdict);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::process::ExitCode;
 use ids_core::pipeline::{prepare_plain, PipelineConfig};
 use ids_core::report::{format_table, Table2Row};
 use ids_driver::json::Json;
-use ids_driver::{verify_selections, verify_tasks, BatchReport, DriverConfig, Selection};
+use ids_driver::{verify_selections, verify_tasks, BatchReport, DriverConfig, PoolMode, Selection};
 use ids_smt::SolverStats;
 use ids_structures::{all_benchmarks, quick_benchmarks};
 use ids_vcgen::Encoding;
@@ -35,8 +35,14 @@ OPTIONS:
     --cache PATH       persistent VC cache file (created if missing)
     --json             machine-readable JSON output
     --quantified       use the quantified (Dafny-style) encoding
-    --no-incremental   discharge every VC in a fresh solver instead of one
-                       incremental session per method (verdicts identical)
+    --pool-mode MODE   solver-state sharing across queries (verdicts are
+                       identical in every mode):
+                         structure  one warm solver pool per data structure,
+                                    the shared hypothesis prelude lowered
+                                    once at structure scope (default)
+                         method     one incremental session per method
+                         none       a fresh solver per VC
+    --no-incremental   deprecated alias for --pool-mode none
     --quick            (suite) only the quick benchmark subset
     --structure NAME   (suite) only structures whose name contains NAME
                        (substring match, case-insensitive);
@@ -51,7 +57,7 @@ struct Options {
     cache: Option<PathBuf>,
     json: bool,
     quantified: bool,
-    no_incremental: bool,
+    pool_mode: PoolMode,
     quick: bool,
     structure: Option<String>,
     methods: Vec<String>,
@@ -71,7 +77,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cache: None,
         json: false,
         quantified: false,
-        no_incremental: false,
+        pool_mode: PoolMode::default(),
         quick: false,
         structure: None,
         methods: Vec::new(),
@@ -96,7 +102,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--cache" => o.cache = Some(PathBuf::from(value_of("--cache")?)),
             "--json" => o.json = true,
             "--quantified" => o.quantified = true,
-            "--no-incremental" => o.no_incremental = true,
+            "--pool-mode" => {
+                let v = value_of("--pool-mode")?;
+                o.pool_mode = PoolMode::parse(&v).ok_or_else(|| {
+                    format!(
+                        "invalid --pool-mode '{}' (expected structure, method or none)",
+                        v
+                    )
+                })?;
+            }
+            "--no-incremental" => o.pool_mode = PoolMode::None,
             "--quick" => o.quick = true,
             "--structure" => o.structure = Some(value_of("--structure")?),
             "--method" => o.methods.push(value_of("--method")?),
@@ -116,7 +131,7 @@ fn driver_config(o: &Options) -> DriverConfig {
             Encoding::Decidable
         },
         cache_path: o.cache.clone(),
-        incremental: !o.no_incremental,
+        pool_mode: o.pool_mode,
         ..DriverConfig::default()
     };
     if let Some(jobs) = o.jobs {
@@ -369,7 +384,7 @@ fn emit(batch: &BatchReport, config: &DriverConfig, command: &str, json: bool) -
             .filter(|r| r.outcome.is_verified())
             .count();
         println!(
-            "\n{} methods ({} verified, {} failed), {} VCs | cache hits {}, SMT queries {}, skipped {} | wall {:.2}s (jobs={})",
+            "\n{} methods ({} verified, {} failed), {} VCs | cache hits {}, SMT queries {}, skipped {} | prelude reused {}, lowered {} | wall {:.2}s (jobs={}, pool={})",
             s.methods,
             verified,
             s.methods - verified,
@@ -377,8 +392,11 @@ fn emit(batch: &BatchReport, config: &DriverConfig, command: &str, json: bool) -
             s.cache_hits,
             s.smt_queries,
             s.skipped_vcs,
+            s.solver.prelude_reused,
+            s.solver.prelude_lowered,
             s.wall.as_secs_f64(),
             config.jobs,
+            config.pool_mode.as_str(),
         );
     }
     if !batch.errors.is_empty() {
@@ -398,6 +416,8 @@ fn solver_json(j: &mut Json, s: &SolverStats) {
     j.num_field("theory_rounds", s.theory_rounds as f64);
     j.num_field("sat_time_s", s.sat_time.as_secs_f64());
     j.num_field("theory_time_s", s.theory_time.as_secs_f64());
+    j.num_field("prelude_reused", s.prelude_reused as f64);
+    j.num_field("prelude_lowered", s.prelude_lowered as f64);
     j.end_object();
 }
 
@@ -406,6 +426,7 @@ fn to_json(batch: &BatchReport, config: &DriverConfig, command: &str) -> String 
     j.begin_object();
     j.str_field("command", command);
     j.num_field("jobs", config.jobs as f64);
+    j.str_field("pool_mode", config.pool_mode.as_str());
     j.key("rows");
     j.begin_array();
     for r in &batch.reports {

@@ -27,10 +27,24 @@
 //! only its *formula*, a verdict is stale the moment the solver or lowering
 //! logic changes; the fingerprint in the header makes such caches (v1 files
 //! included) read as empty instead of silently replaying old verdicts.
+//!
+//! # Concurrent runs
+//!
+//! Several `ids-verify` processes may share one cache file. Two defences keep
+//! them from corrupting or clobbering each other:
+//!
+//! * writes go through a temporary file in the same directory followed by an
+//!   atomic rename, so readers never observe a half-written cache;
+//! * [`VcCache::save_merged`] takes an advisory [`CacheLock`] (a lockfile
+//!   beside the cache file), re-reads whatever a concurrent run persisted in
+//!   the meantime, merges it with the in-memory entries and only then writes
+//!   — the classic read-modify-write under lock, so a slow run finishing
+//!   last cannot silently discard a fast run's verdicts.
 
 use std::collections::HashMap;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime};
 
 use ids_core::pipeline::VcVerdict;
 
@@ -40,6 +54,95 @@ fn header() -> String {
         "ids-vc-cache v2 fp={:016x}",
         ids_smt::SOLVER_LOGIC_FINGERPRINT
     )
+}
+
+/// An advisory cross-process lock: a lockfile created with `create_new`
+/// (atomic on every platform/filesystem we care about) beside the protected
+/// file, removed on drop.
+///
+/// The lock is *advisory* — it only coordinates processes that also take it —
+/// and deliberately fail-open: if the lock cannot be acquired within the
+/// timeout (a crashed holder is additionally broken by age), the caller
+/// proceeds unlocked with a warning rather than wedging a verification run on
+/// a stale lockfile.
+#[derive(Debug)]
+pub struct CacheLock {
+    path: PathBuf,
+    owned: bool,
+}
+
+/// A lock older than this is considered leaked by a crashed process and is
+/// broken. Cache writes hold the lock for milliseconds; minutes of age means
+/// nobody is coming back for it.
+const LOCK_STALE_AFTER: Duration = Duration::from_secs(300);
+
+impl CacheLock {
+    /// The lockfile guarding `target` (`<target>.lock`).
+    fn lock_path(target: &Path) -> PathBuf {
+        let mut name = target.file_name().unwrap_or_default().to_os_string();
+        name.push(".lock");
+        target.with_file_name(name)
+    }
+
+    /// Acquires the lock for `target`, waiting up to `timeout`. Always
+    /// returns a guard; `owned` records whether the lock was actually taken
+    /// (callers proceed either way — advisory, fail-open).
+    pub fn acquire(target: &Path, timeout: Duration) -> CacheLock {
+        let path = CacheLock::lock_path(target);
+        let start = Instant::now();
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return CacheLock { path, owned: true },
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    // Break locks leaked by a crashed holder.
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|m| SystemTime::now().duration_since(m).ok())
+                        .is_some_and(|age| age > LOCK_STALE_AFTER);
+                    if stale {
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if start.elapsed() >= timeout {
+                        eprintln!(
+                            "warning: could not acquire cache lock {} within {:?}; proceeding unlocked",
+                            path.display(),
+                            timeout
+                        );
+                        return CacheLock { path, owned: false };
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => {
+                    // Unwritable directory etc.: locking is best-effort.
+                    eprintln!(
+                        "warning: could not create cache lock {}: {}",
+                        path.display(),
+                        e
+                    );
+                    return CacheLock { path, owned: false };
+                }
+            }
+        }
+    }
+
+    /// True if the lockfile was actually created by this guard.
+    pub fn owned(&self) -> bool {
+        self.owned
+    }
+}
+
+impl Drop for CacheLock {
+    fn drop(&mut self) {
+        if self.owned {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
 }
 
 /// An in-memory VC verdict cache with optional on-disk persistence.
@@ -96,7 +199,9 @@ impl VcCache {
     }
 
     /// Writes the cache to disk (sorted, so the file is deterministic for a
-    /// given content) and clears the dirty flag.
+    /// given content) and clears the dirty flag. The write is atomic
+    /// (temporary file + rename), so concurrent readers never observe a
+    /// half-written cache.
     pub fn save(&mut self, path: &Path) -> io::Result<()> {
         let mut keys: Vec<&u128> = self.entries.keys().collect();
         keys.sort();
@@ -111,9 +216,46 @@ impl VcCache {
             };
             out.push_str(&format!("{:032x} {}\n", k, letter));
         }
-        std::fs::write(path, out)?;
+        let tmp = {
+            // Unique per call, not just per process: two threads racing past
+            // a failed-open lock must not share a temp file.
+            static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let mut name = path.file_name().unwrap_or_default().to_os_string();
+            name.push(format!(".tmp.{}.{}", std::process::id(), seq));
+            path.with_file_name(name)
+        };
+        std::fs::write(&tmp, out)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
         self.dirty = false;
         Ok(())
+    }
+
+    /// Saves under the advisory [`CacheLock`], first absorbing whatever a
+    /// concurrent run persisted since this cache was loaded, so parallel
+    /// `ids-verify` processes sharing one cache file union their verdicts
+    /// instead of the last writer clobbering the others.
+    pub fn save_merged(&mut self, path: &Path) -> io::Result<()> {
+        let _lock = CacheLock::acquire(path, Duration::from_secs(10));
+        if let Ok(disk) = VcCache::load(path) {
+            self.absorb(disk);
+        }
+        self.save(path)
+    }
+
+    /// Merges another cache's entries into this one. Existing entries win on
+    /// conflict (they are this run's freshly computed verdicts; a well-formed
+    /// cache never disagrees on a key within one solver generation anyway).
+    pub fn absorb(&mut self, other: VcCache) {
+        for (key, verdict) in other.entries {
+            if let std::collections::hash_map::Entry::Vacant(slot) = self.entries.entry(key) {
+                slot.insert(verdict);
+                self.dirty = true;
+            }
+        }
     }
 
     /// Looks up a verdict.
@@ -215,6 +357,93 @@ mod tests {
         let cache = VcCache::load(&path).unwrap();
         assert_eq!(cache.get(0xff), Some(VcVerdict::Valid));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lock_excludes_and_releases() {
+        let target = temp_path("lock");
+        let a = CacheLock::acquire(&target, Duration::from_millis(10));
+        assert!(a.owned());
+        // While held, a second acquire times out un-owned (fail-open).
+        let b = CacheLock::acquire(&target, Duration::from_millis(50));
+        assert!(!b.owned());
+        drop(b);
+        drop(a);
+        // Released: acquirable again.
+        let c = CacheLock::acquire(&target, Duration::from_millis(10));
+        assert!(c.owned());
+    }
+
+    #[test]
+    fn concurrent_saves_union_instead_of_clobbering() {
+        let path = temp_path("merge");
+        std::fs::remove_file(&path).ok();
+        // Two "processes" that each computed disjoint verdicts, saving in
+        // either order: both sets must survive.
+        let mut first = VcCache::new();
+        first.insert(1, VcVerdict::Valid);
+        let mut second = VcCache::new();
+        second.insert(2, VcVerdict::Refuted);
+        first.save_merged(&path).unwrap();
+        second.save_merged(&path).unwrap();
+        let loaded = VcCache::load(&path).unwrap();
+        assert_eq!(loaded.get(1), Some(VcVerdict::Valid));
+        assert_eq!(loaded.get(2), Some(VcVerdict::Refuted));
+        std::fs::remove_file(&path).ok();
+
+        // The same from many threads at once: every thread's verdict lands.
+        let path2 = temp_path("merge-threads");
+        std::fs::remove_file(&path2).ok();
+        std::thread::scope(|scope| {
+            for i in 0..8u128 {
+                let path2 = &path2;
+                scope.spawn(move || {
+                    let mut c = VcCache::new();
+                    c.insert(100 + i, VcVerdict::Valid);
+                    c.save_merged(path2).unwrap();
+                });
+            }
+        });
+        let loaded = VcCache::load(&path2).unwrap();
+        for i in 0..8u128 {
+            assert_eq!(loaded.get(100 + i), Some(VcVerdict::Valid), "thread {}", i);
+        }
+        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn stale_lock_is_broken() {
+        let target = temp_path("stale-lock");
+        let lock_file = CacheLock::lock_path(&target);
+        std::fs::write(&lock_file, "pid 0").unwrap();
+        // Backdate the lockfile beyond the staleness horizon.
+        let old = SystemTime::now() - LOCK_STALE_AFTER - Duration::from_secs(60);
+        let ok = set_mtime(&lock_file, old);
+        if !ok {
+            // No portable mtime API without deps; skip silently where the
+            // filetime trick is unavailable.
+            std::fs::remove_file(&lock_file).ok();
+            return;
+        }
+        let l = CacheLock::acquire(&target, Duration::from_millis(50));
+        assert!(l.owned(), "a stale lock must be broken and re-acquired");
+    }
+
+    /// Best-effort mtime backdating for the staleness test. Uses the
+    /// (unix-only) `touch -d` via the filesystem; returns false if that is
+    /// unavailable.
+    fn set_mtime(path: &Path, when: SystemTime) -> bool {
+        let secs = match when.duration_since(SystemTime::UNIX_EPOCH) {
+            Ok(d) => d.as_secs(),
+            Err(_) => return false,
+        };
+        std::process::Command::new("touch")
+            .arg("-d")
+            .arg(format!("@{}", secs))
+            .arg(path)
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false)
     }
 
     #[test]

@@ -67,6 +67,48 @@ use ids_vcgen::Encoding;
 
 use crate::cache::VcCache;
 
+/// How solver state is shared across the batch's SMT queries.
+///
+/// Verdicts, VC cache keys and batch-dedup behaviour are byte-identical
+/// across all three modes; only the amount of lowering/clause-conversion work
+/// shared between queries differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PoolMode {
+    /// One warm solver pool per *data structure*: all pending methods of a
+    /// structure form one unit on a worker, the structure-common hypothesis
+    /// prelude is lowered once at structure scope, and each method runs in a
+    /// retractable method scope ([`ids_core::pipeline::StructureSession`]).
+    /// The default.
+    #[default]
+    Structure,
+    /// One incremental session per *method* (the PR-3 behaviour): a method's
+    /// VCs share its lowered prelude, methods share nothing.
+    Method,
+    /// A fresh solver per VC (the PR-2 behaviour, `--pool-mode none`).
+    None,
+}
+
+impl PoolMode {
+    /// Parses a CLI value (`structure` / `method` / `none`).
+    pub fn parse(s: &str) -> Option<PoolMode> {
+        match s {
+            "structure" => Some(PoolMode::Structure),
+            "method" => Some(PoolMode::Method),
+            "none" => Some(PoolMode::None),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this mode.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PoolMode::Structure => "structure",
+            PoolMode::Method => "method",
+            PoolMode::None => "none",
+        }
+    }
+}
+
 /// Configuration of a batch run.
 #[derive(Clone, Debug)]
 pub struct DriverConfig {
@@ -77,12 +119,8 @@ pub struct DriverConfig {
     /// Optional path of the persistent VC cache; loaded before and saved
     /// after the batch. `None` still memoizes within the batch, in memory.
     pub cache_path: Option<PathBuf>,
-    /// If true (the default), a method's VCs are discharged as *one session
-    /// unit* on a worker — an incremental solver shares the method's lowered
-    /// prelude across its VCs. If false (`--no-incremental`), every VC is an
-    /// independent fresh-solver job, the PR-2 behaviour. Cache keys, batch
-    /// dedup and reported verdicts are byte-identical either way.
-    pub incremental: bool,
+    /// Solver-state sharing across queries (see [`PoolMode`]).
+    pub pool_mode: PoolMode,
 }
 
 impl Default for DriverConfig {
@@ -93,7 +131,7 @@ impl Default for DriverConfig {
                 .unwrap_or(1),
             encoding: Encoding::default(),
             cache_path: None,
-            incremental: true,
+            pool_mode: PoolMode::default(),
         }
     }
 }
@@ -321,46 +359,98 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
     let tasks_ref = &tasks;
     let cancelled = std::sync::Mutex::new(refuted_tasks);
     let cancelled_ref = &cancelled;
-    let solved: Vec<(u128, usize, usize, Option<VcResult>)> = if config.incremental {
-        // Incremental mode: a method's pending VCs form one *session unit* on
-        // a worker. The session asserts the method's shared hypothesis prefix
-        // once and checks each goal under push/pop, walking the VCs in index
-        // order (hypothesis prefixes are monotone; cache-answered indices are
-        // simply skipped). Cancellation still applies per VC, and a session
-        // that refutes a VC stops the method exactly like the per-VC path.
-        let mut by_task: BTreeMap<usize, Vec<(u128, usize)>> = BTreeMap::new();
-        for (key, ti, vi) in jobs {
-            by_task.entry(ti).or_default().push((key, vi));
+    // Runs one method's pending VCs in index order (hypothesis prefixes are
+    // monotone; cache-answered indices are simply skipped) through `check`,
+    // honouring per-VC cancellation; a refuted VC cancels the method's rest —
+    // exactly the sequential pipeline's early stop.
+    let run_method_items = |ti: usize,
+                            mut items: Vec<(u128, usize)>,
+                            out: &mut Vec<(u128, usize, usize, Option<VcResult>)>,
+                            check: &mut dyn FnMut(usize) -> VcResult| {
+        items.sort_by_key(|&(_, vi)| vi);
+        for (key, vi) in items {
+            if cancelled_ref.lock().expect("cancel set").contains(&ti) {
+                out.push((key, ti, vi, None));
+                continue;
+            }
+            let result = check(vi);
+            if result.verdict == ids_core::pipeline::VcVerdict::Refuted {
+                cancelled_ref.lock().expect("cancel set").insert(ti);
+            }
+            out.push((key, ti, vi, Some(result)));
         }
-        let session_jobs: Vec<(usize, Vec<(u128, usize)>)> = by_task.into_iter().collect();
-        pool::run(config.jobs, session_jobs, move |(ti, mut items)| {
-            items.sort_by_key(|&(_, vi)| vi);
-            let task = &tasks_ref[ti];
-            // Quantified-encoding tasks fall back to fresh solvers inside
-            // the same session unit.
-            let mut session = ids_core::pipeline::MethodSession::new(task);
-            let mut out = Vec::with_capacity(items.len());
-            for (key, vi) in items {
-                if cancelled_ref.lock().expect("cancel set").contains(&ti) {
-                    out.push((key, ti, vi, None));
-                    continue;
+    };
+    // A method's share of the pending queue: its task index and the
+    // (cache key, VC index) pairs to discharge.
+    type MethodItems = (usize, Vec<(u128, usize)>);
+    let solved: Vec<(u128, usize, usize, Option<VcResult>)> = match config.pool_mode {
+        PoolMode::Structure => {
+            // Structure mode: all pending methods of one structure form one
+            // *warm-pool unit* on a worker. A StructureSession lowers the
+            // structure-common hypothesis prelude once at structure scope;
+            // each method then runs in a retractable method scope.
+            let mut by_task: BTreeMap<usize, Vec<(u128, usize)>> = BTreeMap::new();
+            for (key, ti, vi) in jobs {
+                by_task.entry(ti).or_default().push((key, vi));
+            }
+            // BTreeMap order: a unit's methods run in ascending task index.
+            let mut by_structure: BTreeMap<&str, Vec<MethodItems>> = BTreeMap::new();
+            for (ti, items) in by_task {
+                by_structure
+                    .entry(tasks_ref[ti].structure.as_str())
+                    .or_default()
+                    .push((ti, items));
+            }
+            let units: Vec<Vec<MethodItems>> = by_structure.into_values().collect();
+            pool::run(config.jobs, units, move |unit| {
+                let unit_tasks: Vec<&MethodTask> =
+                    unit.iter().map(|&(ti, _)| &tasks_ref[ti]).collect();
+                // Quantified-encoding tasks fall back to fresh solvers
+                // inside the same unit.
+                let mut pool_session = ids_core::pipeline::StructureSession::new(&unit_tasks);
+                let mut out = Vec::new();
+                for (slot, (ti, items)) in unit.into_iter().enumerate() {
+                    match pool_session.as_mut() {
+                        Some(s) => {
+                            s.begin_method(slot);
+                            run_method_items(ti, items, &mut out, &mut |vi| s.check_vc(slot, vi));
+                            s.end_method();
+                        }
+                        None => {
+                            let task = &tasks_ref[ti];
+                            run_method_items(ti, items, &mut out, &mut |vi| task.check_vc(vi));
+                        }
+                    }
                 }
-                let result = match session.as_mut() {
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        }
+        PoolMode::Method => {
+            // Method mode (PR 3): a method's pending VCs form one session
+            // unit on a worker; methods share nothing.
+            let mut by_task: BTreeMap<usize, Vec<(u128, usize)>> = BTreeMap::new();
+            for (key, ti, vi) in jobs {
+                by_task.entry(ti).or_default().push((key, vi));
+            }
+            let session_jobs: Vec<(usize, Vec<(u128, usize)>)> = by_task.into_iter().collect();
+            pool::run(config.jobs, session_jobs, move |(ti, items)| {
+                let task = &tasks_ref[ti];
+                let mut session = ids_core::pipeline::MethodSession::new(task);
+                let mut out = Vec::with_capacity(items.len());
+                run_method_items(ti, items, &mut out, &mut |vi| match session.as_mut() {
                     Some(s) => s.check_vc(vi),
                     None => task.check_vc(vi),
-                };
-                if result.verdict == ids_core::pipeline::VcVerdict::Refuted {
-                    cancelled_ref.lock().expect("cancel set").insert(ti);
-                }
-                out.push((key, ti, vi, Some(result)));
-            }
-            out
-        })
-        .into_iter()
-        .flatten()
-        .collect()
-    } else {
-        pool::run(config.jobs, jobs, move |(key, ti, vi)| {
+                });
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        }
+        PoolMode::None => pool::run(config.jobs, jobs, move |(key, ti, vi)| {
             if cancelled_ref.lock().expect("cancel set").contains(&ti) {
                 return (key, ti, vi, None);
             }
@@ -369,7 +459,7 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
                 cancelled_ref.lock().expect("cancel set").insert(ti);
             }
             (key, ti, vi, Some(result))
-        })
+        }),
     };
     drop(cancelled);
     for (key, ti, vi, result) in solved {
@@ -417,7 +507,7 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
                 cache_hits += 1;
                 VcResult::from_cache(vi, verdict)
             } else {
-                if session.is_none() && config.incremental {
+                if session.is_none() && config.pool_mode != PoolMode::None {
                     session = ids_core::pipeline::MethodSession::new(task);
                 }
                 let result = match session.as_mut() {
@@ -437,7 +527,9 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
     }
 
     if let (Some(path), true) = (&config.cache_path, cache.is_dirty()) {
-        if let Err(e) = cache.save(path) {
+        // Merge-under-lock: concurrent ids-verify runs sharing this cache
+        // union their verdicts instead of clobbering each other.
+        if let Err(e) = cache.save_merged(path) {
             eprintln!("warning: could not write cache {}: {}", path.display(), e);
         }
     }
@@ -512,12 +604,13 @@ mod tests {
     }
 
     #[test]
-    fn incremental_sessions_match_per_vc_jobs() {
-        // The same batch through session units (default) and through fresh
-        // per-VC jobs (--no-incremental): verdict kind, VC counts and failing
-        // VC must be byte-identical; only solver-internal statistics may
-        // differ. Includes a refuted method so the early-stop paths are
-        // compared too.
+    fn pool_modes_match_each_other() {
+        // The same batch through structure pools (default), per-method
+        // sessions and fresh per-VC jobs: verdict kind, VC counts and
+        // failing VC must be byte-identical; only solver-internal statistics
+        // may differ. Includes a refuted method so the early-stop paths are
+        // compared too, and a two-method structure so the structure pool
+        // actually spans methods.
         let good = ids_structures::Benchmark {
             name: "Singly-Linked List",
             definition: lists::singly_linked_list(),
@@ -531,33 +624,50 @@ mod tests {
             methods: vec![],
         };
         let sel = vec![
-            Selection::methods_of(&good, &["set_key"]),
+            Selection::methods_of(&good, &["set_key", "find"]),
             Selection::methods_of(&bad, &["insert_front_forgets_length"]),
         ];
-        let incremental = verify_selections(
-            &sel,
-            &DriverConfig {
-                jobs: 2,
-                ..DriverConfig::default()
-            },
-        );
-        let fresh = verify_selections(
-            &sel,
-            &DriverConfig {
-                jobs: 2,
-                incremental: false,
-                ..DriverConfig::default()
-            },
-        );
-        assert!(incremental.errors.is_empty() && fresh.errors.is_empty());
-        assert_eq!(incremental.reports.len(), fresh.reports.len());
-        for (a, b) in incremental.reports.iter().zip(&fresh.reports) {
-            assert_eq!(a.method, b.method);
-            assert_eq!(a.outcome, b.outcome, "{} diverged", a.method);
-            assert_eq!(a.num_vcs, b.num_vcs);
+        let run = |mode: PoolMode| {
+            verify_selections(
+                &sel,
+                &DriverConfig {
+                    jobs: 2,
+                    pool_mode: mode,
+                    ..DriverConfig::default()
+                },
+            )
+        };
+        let structure = run(PoolMode::Structure);
+        let method = run(PoolMode::Method);
+        let fresh = run(PoolMode::None);
+        for batch in [&structure, &method, &fresh] {
+            assert!(batch.errors.is_empty());
+            assert_eq!(batch.reports.len(), structure.reports.len());
         }
-        assert!(incremental.reports[0].outcome.is_verified());
-        assert!(!incremental.reports[1].outcome.is_verified());
+        for other in [&method, &fresh] {
+            for (a, b) in structure.reports.iter().zip(&other.reports) {
+                assert_eq!(a.method, b.method);
+                assert_eq!(a.outcome, b.outcome, "{} diverged", a.method);
+                assert_eq!(a.num_vcs, b.num_vcs);
+            }
+        }
+        assert!(structure.reports[0].outcome.is_verified());
+        assert!(structure.reports[1].outcome.is_verified());
+        assert!(!structure.reports[2].outcome.is_verified());
+        // The structure pool's prelude reuse is observable in the second
+        // method's stats (methods of one structure run in task order): it
+        // strictly exceeds the per-method session's within-method reuse
+        // (re-asserted guards), because the structure-common hypothesis
+        // prelude is answered from structure scope on top of that. Fresh
+        // per-VC solving reuses nothing at all.
+        assert!(
+            structure.reports[1].solver.prelude_reused > method.reports[1].solver.prelude_reused,
+            "structure {:?} vs method {:?}",
+            structure.reports[1].solver,
+            method.reports[1].solver
+        );
+        assert_eq!(fresh.reports[1].solver.prelude_reused, 0);
+        assert_eq!(fresh.reports[1].solver.prelude_lowered, 0);
     }
 
     #[test]

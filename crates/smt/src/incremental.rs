@@ -31,6 +31,36 @@
 //! popped activation literal) or a valid lemma, satisfied by the dead atoms'
 //! semantic truth values.
 //!
+//! # Two-level scope discipline (structure-scoped warm pools)
+//!
+//! A warm solver pool shares one solver across *all methods of one data
+//! structure*: the structure-common hypothesis prelude sits at the base
+//! ("structure") scope, each method opens a **method scope**
+//! ([`IncrementalSolver::push_method_scope`]) for its method-local residue,
+//! and each VC opens an ordinary push/pop scope inside it. The three levels
+//! behave differently on retraction:
+//!
+//! * **Structure scope** (base): assertions, their lowering state, their
+//!   instantiated axioms and learned clauses are permanent — they survive
+//!   every method and VC pop, which is the whole point of the pool.
+//! * **Method scope**: [`IncrementalSolver::push_method_scope`] snapshots
+//!   *every* layer of solver state — the SAT core, the CNF atom map, the
+//!   lowering context, the theory checker and the atom bookkeeping — and
+//!   [`IncrementalSolver::pop_method_scope`] restores the snapshots
+//!   wholesale. Inside the scope the solver behaves exactly like a plain
+//!   per-method session warm-started from the structure scope: residue
+//!   assertions are permanent *within the scope*, derived facts are
+//!   permanent within the scope, VC scopes nest as usual. Restoring (rather
+//!   than deactivating) is what keeps a pool honest: dead methods leave no
+//!   SAT variables to decide over, no deactivated clauses in the watch
+//!   lists, no stale atoms in the theory template — each successive method
+//!   pays for the prelude-free part of itself, not for the whole structure
+//!   so far. The snapshot clones are structure-scope-sized (the prelude),
+//!   not method-sized.
+//! * **VC scope** (plain [`IncrementalSolver::push`]): assertion clauses
+//!   carry activation literals and are retracted on pop; derived facts are
+//!   permanent (sound — and gone with the method snapshot, if one is open).
+//!
 //! Quantified formulas are not supported: asserting one puts the solver into
 //! a degraded mode where every check answers [`SatResult::Unknown`] (the
 //! quantified RQ3 encoding keeps using the batch solver).
@@ -53,7 +83,7 @@
 //! assert_eq!(s.check(&mut tm), SatResult::Sat); // the contradiction is gone
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::cnf::{encode_root, AtomMap};
 use crate::lower::LowerCtx;
@@ -84,6 +114,28 @@ struct Scope {
     act: Var,
 }
 
+/// Snapshot taken at [`IncrementalSolver::push_method_scope`] and restored
+/// wholesale at the matching pop: the complete structure-scope solver state.
+/// Cloned at structure-scope size (the shared prelude), so a pool pays a
+/// small fixed copy per method instead of accumulating every method's SAT
+/// variables, clauses, pools and templates forever.
+#[derive(Debug)]
+struct MethodRollback {
+    sat: SatSolver,
+    atom_map: AtomMap,
+    lower: LowerCtx,
+    checker: Option<TheoryChecker>,
+    pending_atoms: Vec<TermId>,
+    atom_scope: HashMap<TermId, AtomScope>,
+    asserted_roots: HashSet<TermId>,
+    saw_quantifier: bool,
+    /// Reuse counters not yet folded into a check's stats: restored on pop
+    /// so credit accrued inside a method that never checks (e.g. every VC
+    /// cancelled) cannot leak into the next method's statistics.
+    pending_reused: u64,
+    pending_lowered: u64,
+}
+
 /// An SMT solver with persistent state and a push/pop assertion stack.
 ///
 /// See the [module documentation](self) for the architecture.
@@ -102,6 +154,14 @@ pub struct IncrementalSolver {
     saw_quantifier: bool,
     stats: SolverStats,
     model: Option<Model>,
+    /// The open method scope of a warm pool, if any (always `scopes[0]`).
+    method: Option<MethodRollback>,
+    /// Roots asserted so far, for the prelude-reuse counters.
+    asserted_roots: HashSet<TermId>,
+    /// Reuse counters accumulated since the last `check` (assertions happen
+    /// between checks; `check` folds them into its stats delta).
+    pending_reused: u64,
+    pending_lowered: u64,
 }
 
 impl Default for IncrementalSolver {
@@ -134,6 +194,10 @@ impl IncrementalSolver {
             saw_quantifier: false,
             stats: SolverStats::default(),
             model: None,
+            method: None,
+            asserted_roots: HashSet::new(),
+            pending_reused: 0,
+            pending_lowered: 0,
         }
     }
 
@@ -167,13 +231,85 @@ impl IncrementalSolver {
     /// Closes the innermost scope, retracting its assertions (their clauses
     /// are permanently deactivated via the scope's activation literal; facts
     /// learned from them — instantiated axioms, theory lemmas — are valid and
-    /// stay).
+    /// stay, unless a method scope is open, in which case derived facts live
+    /// at the method scope and fall with it).
     ///
     /// # Panics
-    /// Panics if no scope is open.
+    /// Panics if no scope is open, or if the innermost scope is a method
+    /// scope (close those with [`IncrementalSolver::pop_method_scope`]).
     pub fn pop(&mut self) {
         let scope = self.scopes.pop().expect("pop without matching push");
         self.sat.add_clause(vec![Lit::new(scope.act, false)]);
+    }
+
+    /// Opens a *method scope*: the second level of a warm pool's scope
+    /// discipline (see the module documentation). Snapshots the complete
+    /// structure-scope solver state; until the matching
+    /// [`IncrementalSolver::pop_method_scope`] the solver behaves exactly
+    /// like a per-method session warm-started from that state (assertions
+    /// permanent, facts permanent, VC scopes nested inside as usual).
+    ///
+    /// # Panics
+    /// Panics if any scope is already open — a method scope must sit
+    /// directly on the structure (base) scope, and only one can be open.
+    pub fn push_method_scope(&mut self) {
+        assert!(
+            self.scopes.is_empty() && self.method.is_none(),
+            "a method scope must be the outermost open scope"
+        );
+        self.method = Some(MethodRollback {
+            sat: self.sat.clone(),
+            atom_map: self.atom_map.clone(),
+            lower: self.lower.clone(),
+            checker: self.checker.clone(),
+            pending_atoms: self.pending_atoms.clone(),
+            atom_scope: self.atom_scope.clone(),
+            asserted_roots: self.asserted_roots.clone(),
+            saw_quantifier: self.saw_quantifier,
+            pending_reused: self.pending_reused,
+            pending_lowered: self.pending_lowered,
+        });
+    }
+
+    /// Closes the open method scope by restoring the structure-scope
+    /// snapshot wholesale: the method's assertions, derived facts, SAT
+    /// variables, learned clauses, axiom instantiations and theory-template
+    /// growth all vanish, and the next method starts from a pool that holds
+    /// exactly the structure-scope prelude again.
+    ///
+    /// # Panics
+    /// Panics if no method scope is open or if VC scopes are still open
+    /// inside it.
+    pub fn pop_method_scope(&mut self) {
+        assert!(
+            self.scopes.is_empty(),
+            "pop_method_scope with VC scopes still open"
+        );
+        let m = self.method.take().expect("no method scope open");
+        self.sat = m.sat;
+        self.atom_map = m.atom_map;
+        self.lower = m.lower;
+        self.checker = m.checker;
+        self.pending_atoms = m.pending_atoms;
+        self.atom_scope = m.atom_scope;
+        self.asserted_roots = m.asserted_roots;
+        self.saw_quantifier = m.saw_quantifier;
+        self.pending_reused = m.pending_reused;
+        self.pending_lowered = m.pending_lowered;
+        self.model = None;
+    }
+
+    /// True if a method scope is currently open.
+    pub fn in_method_scope(&self) -> bool {
+        self.method.is_some()
+    }
+
+    /// Credits `n` assertions as answered from warm structure-scope state
+    /// without any re-assertion (used by session layers that skip an
+    /// already-asserted shared prelude outright); surfaces in the next
+    /// check's [`SolverStats::prelude_reused`].
+    pub fn note_prelude_reuse(&mut self, n: u64) {
+        self.pending_reused += n;
     }
 
     /// Asserts a formula in the current scope (permanently when no scope is
@@ -185,6 +321,14 @@ impl IncrementalSolver {
             // than silently dropping an assertion (soundness first).
             self.saw_quantifier = true;
             return;
+        }
+        // Reuse accounting: a root asserted before (e.g. a structure-common
+        // hypothesis re-asserted by the next method of a warm pool) hits
+        // every lowering/CNF cache below and only costs a guarded clause.
+        if self.asserted_roots.insert(t) {
+            self.pending_lowered += 1;
+        } else {
+            self.pending_reused += 1;
         }
         let batch = self.lower.add(tm, &[t]);
         for f in batch.facts {
@@ -204,25 +348,28 @@ impl IncrementalSolver {
 
     /// Encodes one lowered root and asserts it — permanently for derived
     /// facts, guarded by the current scope's activation literal otherwise.
-    fn assert_lowered(&mut self, tm: &TermManager, root: TermId, permanent: bool) {
+    /// ("Permanent" is relative to the open method scope, if any: a method
+    /// snapshot restore discards everything asserted inside it.)
+    fn assert_lowered(&mut self, tm: &TermManager, root: TermId, fact: bool) {
         let lit = encode_root(tm, root, &mut self.sat, &mut self.atom_map);
-        self.mark_atoms(tm, root, permanent);
-        let clause = match (permanent, self.scopes.last()) {
-            (false, Some(scope)) => vec![Lit::new(scope.act, false), lit],
-            _ => vec![lit],
+        let guard: Option<Scope> = if fact {
+            None
+        } else {
+            self.scopes.last().copied()
+        };
+        self.mark_atoms(tm, root, guard.map(|s| s.id));
+        let clause = match guard {
+            Some(scope) => vec![Lit::new(scope.act, false), lit],
+            None => vec![lit],
         };
         self.sat.add_clause(clause);
     }
 
     /// Records the scope of every theory atom of `root` (same traversal shape
     /// as the CNF encoder: descend through Boolean connectives, stop at
-    /// atoms) and queues new atoms for the theory checker.
-    fn mark_atoms(&mut self, tm: &TermManager, root: TermId, permanent: bool) {
-        let scope_id = if permanent {
-            None
-        } else {
-            self.scopes.last().map(|s| s.id)
-        };
+    /// atoms) and queues new atoms for the theory checker. `scope_id` is the
+    /// scope the enclosing assertion clause is guarded by (`None` = base).
+    fn mark_atoms(&mut self, tm: &TermManager, root: TermId, scope_id: Option<u64>) {
         let mut visited: std::collections::HashSet<TermId> = std::collections::HashSet::new();
         let mut stack = vec![root];
         while let Some(t) = stack.pop() {
@@ -274,6 +421,8 @@ impl IncrementalSolver {
     /// (permanent ones plus those of open scopes).
     pub fn check(&mut self, tm: &mut TermManager) -> SatResult {
         self.stats = SolverStats::default();
+        self.stats.prelude_reused = std::mem::take(&mut self.pending_reused);
+        self.stats.prelude_lowered = std::mem::take(&mut self.pending_lowered);
         self.model = None;
         if self.saw_quantifier {
             return SatResult::Unknown;
@@ -397,8 +546,13 @@ fn live_literals(
 ) -> Vec<(TermId, bool)> {
     let live_ids: std::collections::HashSet<u64> = scopes.iter().map(|s| s.id).collect();
     let is_live = |t: &TermId| match atom_scope.get(t) {
-        None | Some(AtomScope::Base) => true,
+        Some(AtomScope::Base) => true,
         Some(AtomScope::Scopes(ids)) => ids.iter().any(|id| live_ids.contains(id)),
+        // Unmarked atoms have a SAT encoding but no live registration: they
+        // were only ever used inside a method scope that has since been
+        // popped and rolled back. The restored theory checker does not know
+        // them, and every live clause mentioning them is deactivated.
+        None => false,
     };
     let mut out = atom_map.model_literals(sat);
     out.retain(|(t, _)| is_live(t));
@@ -525,6 +679,145 @@ mod tests {
         let mut s = IncrementalSolver::new();
         s.assert(&mut tm, all);
         assert_eq!(s.check(&mut tm), SatResult::Unknown);
+    }
+
+    #[test]
+    fn method_scope_retracts_assertions_and_nests_vc_scopes() {
+        // structure scope: x >= 0. Method A: x <= 5 with VCs x < 0 (unsat)
+        // and x = 3 (sat). After popping A, method B contradicts A's residue
+        // — which must be gone.
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Int);
+        let zero = tm.int(0);
+        let five = tm.int(5);
+        let ge0 = tm.ge(x, zero);
+        let le5 = tm.le(x, five);
+        let lt0 = tm.lt(x, zero);
+        let gt5 = tm.gt(x, five);
+        let mut s = IncrementalSolver::new();
+        s.assert(&mut tm, ge0); // structure scope
+        s.push_method_scope();
+        s.assert(&mut tm, le5); // method residue
+        s.push();
+        s.assert(&mut tm, lt0);
+        assert_eq!(s.check(&mut tm), SatResult::Unsat);
+        s.pop();
+        s.push();
+        let eq3 = {
+            let three = tm.int(3);
+            tm.eq(x, three)
+        };
+        s.assert(&mut tm, eq3);
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        s.pop();
+        s.pop_method_scope();
+        // Method B: x > 5 is consistent with the structure scope alone.
+        s.push_method_scope();
+        s.assert(&mut tm, gt5);
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        // ... but still constrained by the structure scope.
+        s.push();
+        s.assert(&mut tm, lt0);
+        assert_eq!(s.check(&mut tm), SatResult::Unsat);
+        s.pop();
+        s.pop_method_scope();
+    }
+
+    #[test]
+    fn method_scope_rollback_reinstantiates_axioms() {
+        // The union axiom instantiated at a method-local element must be
+        // retracted with the method and re-derived when the next method
+        // needs it again — three times over, exercising repeated rollback.
+        let mut tm = TermManager::new();
+        let set = Sort::set_of(Sort::Loc);
+        let a = tm.var("A", set.clone());
+        let b = tm.var("B", set);
+        let u = tm.union(a, b);
+        let x = tm.var("x", Sort::Loc);
+        let in_a = tm.member(x, a);
+        let mut s = IncrementalSolver::new();
+        s.assert(&mut tm, in_a); // structure scope
+        for round in 0..3 {
+            s.push_method_scope();
+            let y = tm.var(&format!("y{}", round), Sort::Loc);
+            let in_u = tm.member(y, u);
+            let not_in_u = tm.not(in_u);
+            let eq_xy = tm.eq(x, y);
+            s.assert(&mut tm, not_in_u);
+            s.assert(&mut tm, eq_xy);
+            assert_eq!(s.check(&mut tm), SatResult::Unsat);
+            s.pop_method_scope();
+        }
+        // The structure scope alone is still satisfiable.
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+    }
+
+    #[test]
+    fn method_scope_rollback_forgets_residue_reuse() {
+        // A residue hypothesis re-asserted by the next method counts as
+        // *lowered* again (its lowering state was rolled back); a
+        // structure-scope hypothesis re-asserted counts as *reused*.
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Int);
+        let zero = tm.int(0);
+        let one = tm.int(1);
+        let ge0 = tm.ge(x, zero);
+        let ge1 = tm.ge(x, one);
+        let mut s = IncrementalSolver::new();
+        s.assert(&mut tm, ge0);
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        assert_eq!(s.stats().prelude_lowered, 1);
+
+        s.push_method_scope();
+        s.assert(&mut tm, ge1); // fresh residue
+        s.assert(&mut tm, ge0); // structure-scope formula, reused
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        assert_eq!(s.stats().prelude_lowered, 1);
+        assert_eq!(s.stats().prelude_reused, 1);
+        s.pop_method_scope();
+
+        s.push_method_scope();
+        s.assert(&mut tm, ge1); // rolled back: lowered again
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        assert_eq!(s.stats().prelude_lowered, 1);
+        assert_eq!(s.stats().prelude_reused, 0);
+        s.pop_method_scope();
+    }
+
+    #[test]
+    fn unconsumed_reuse_credit_does_not_leak_across_method_scopes() {
+        // A method that never checks (e.g. all its VCs were cancelled) must
+        // not leak its prelude-reuse credit into the next method's stats.
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Int);
+        let zero = tm.int(0);
+        let ge0 = tm.ge(x, zero);
+        let mut s = IncrementalSolver::new();
+        s.assert(&mut tm, ge0);
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        s.push_method_scope();
+        s.note_prelude_reuse(5); // credited, never consumed by a check
+        s.pop_method_scope();
+        s.push_method_scope();
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        assert_eq!(s.stats().prelude_reused, 0, "credit must not leak");
+        s.pop_method_scope();
+    }
+
+    #[test]
+    fn method_scope_quantifier_degradation_is_rolled_back() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Loc);
+        let p = tm.app("p", vec![x], Sort::Bool);
+        let all = tm.forall(vec![("x".into(), Sort::Loc)], p);
+        let mut s = IncrementalSolver::new();
+        s.assert(&mut tm, p);
+        s.push_method_scope();
+        s.assert(&mut tm, all);
+        assert_eq!(s.check(&mut tm), SatResult::Unknown);
+        s.pop_method_scope();
+        // The quantified assertion fell with its method scope.
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
     }
 
     #[test]

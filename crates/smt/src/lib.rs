@@ -69,12 +69,32 @@ pub use smtlib::to_smtlib;
 pub use solver::{Solver, SolverConfig, SolverStats};
 pub use term::{Op, Sort, Term, TermId, TermManager};
 
+/// Parses the zero-padded lowercase-hex `u64` emitted by the build script.
+/// (`u64::from_str_radix` is not yet usable in const items; this is the
+/// minimal const-evaluable equivalent.)
+const fn parse_hex_u64(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut out: u64 = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let digit = match bytes[i] {
+            b @ b'0'..=b'9' => b - b'0',
+            b @ b'a'..=b'f' => b - b'a' + 10,
+            _ => panic!("invalid hex digit in solver fingerprint"),
+        };
+        out = (out << 4) | digit as u64;
+        i += 1;
+    }
+    out
+}
+
 /// Fingerprint of the solver/lowering logic, embedded in the on-disk VC cache
 /// header so that cached verdicts produced by a different solver generation
 /// are invalidated instead of silently replayed.
 ///
-/// **Bump this constant whenever a change to this crate (or to the VC
-/// lowering/encoding semantics upstream of it) could alter a verdict.**
-/// History: 1 = PR-2 solver (implicit, cache format v1); 2 = incremental
-/// sessions + per-(name, sort) variable interning.
-pub const SOLVER_LOGIC_FINGERPRINT: u64 = 2;
+/// Computed by this crate's build script as a hash of every `src/*.rs` file:
+/// a verdict-affecting solver change cannot ship without editing a source
+/// file, so it cannot ship without invalidating existing caches. (History:
+/// 1 = PR-2 solver, manual; 2 = incremental sessions, manual; source-hashed
+/// since the structure-scoped warm pools.)
+pub const SOLVER_LOGIC_FINGERPRINT: u64 = parse_hex_u64(env!("IDS_SOLVER_LOGIC_FINGERPRINT"));

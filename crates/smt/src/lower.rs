@@ -143,7 +143,7 @@ fn infer_sort(tm: &TermManager, op: &Op, args: &[TermId]) -> Sort {
 /// the incremental lowering context's watermarks index into them — with an
 /// O(1) membership set on the side (a term's sort is unique, so one global
 /// set covers every pool).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct Pools {
     by_sort: HashMap<Sort, Vec<TermId>>,
     pooled: HashSet<TermId>,
@@ -200,7 +200,7 @@ pub struct LoweredBatch {
 /// variable constrained only by the Skolemization of a valid existential, so
 /// retracting the assertion that introduced them never makes retained facts
 /// spurious.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LowerCtx {
     rewrite_cache: HashMap<TermId, TermId>,
     /// Sub-terms already categorized into pools/triggers.

@@ -72,6 +72,14 @@ pub struct SolverStats {
     pub sat_time: std::time::Duration,
     /// Wall-clock time spent inside the theory checker.
     pub theory_time: std::time::Duration,
+    /// Assertions answered from already-lowered session state (a warm solver
+    /// pool's structure-scope prelude, or any re-asserted formula whose
+    /// lowering and CNF encoding were still live). Always 0 for the batch
+    /// solver.
+    pub prelude_reused: u64,
+    /// Assertions lowered and clause-converted fresh. Always 0 for the batch
+    /// solver (which does not count per-assertion reuse).
+    pub prelude_lowered: u64,
 }
 
 impl SolverStats {
@@ -86,6 +94,8 @@ impl SolverStats {
         self.atoms += other.atoms;
         self.sat_time += other.sat_time;
         self.theory_time += other.theory_time;
+        self.prelude_reused += other.prelude_reused;
+        self.prelude_lowered += other.prelude_lowered;
     }
 }
 

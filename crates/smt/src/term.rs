@@ -597,6 +597,54 @@ impl TermManager {
         result
     }
 
+    /// Imports terms from another manager into this one, returning the ids of
+    /// `roots` in `self`. Structurally identical terms — whether imported
+    /// earlier, from a different source manager, or built directly — map to
+    /// the same id (interning is the cross-manager hash-consing the
+    /// structure-scoped solver pools rely on: the hypothesis prelude shared
+    /// by all methods of a structure collapses to one set of term ids).
+    ///
+    /// `memo` caches source→destination id mappings and may be reused across
+    /// calls importing from the *same* source manager.
+    ///
+    /// The destination's fresh-name counter is raised to at least the
+    /// source's, so names minted here after the import cannot collide with
+    /// imported fresh names.
+    pub fn import(
+        &mut self,
+        src: &TermManager,
+        roots: &[TermId],
+        memo: &mut HashMap<TermId, TermId>,
+    ) -> Vec<TermId> {
+        self.fresh_counter = self.fresh_counter.max(src.fresh_counter);
+        // Iterative post-order over the source DAG (formulas can be deep).
+        for &root in roots {
+            let mut stack = vec![root];
+            while let Some(&t) = stack.last() {
+                if memo.contains_key(&t) {
+                    stack.pop();
+                    continue;
+                }
+                let term = src.term(t);
+                let mut ready = true;
+                for &a in &term.args {
+                    if !memo.contains_key(&a) {
+                        ready = false;
+                        stack.push(a);
+                    }
+                }
+                if !ready {
+                    continue;
+                }
+                let args: Vec<TermId> = term.args.iter().map(|a| memo[a]).collect();
+                let id = self.mk(term.op.clone(), args, term.sort.clone());
+                memo.insert(t, id);
+                stack.pop();
+            }
+        }
+        roots.iter().map(|r| memo[r]).collect()
+    }
+
     /// Collects the set of all sub-terms of `roots` (including the roots), in
     /// no particular order.
     pub fn subterms(&self, roots: &[TermId]) -> Vec<TermId> {
@@ -709,6 +757,51 @@ mod tests {
         map.insert("x".to_string(), z);
         let e2 = tm.substitute(e, &map);
         assert_eq!(e2, tm.add(z, y));
+    }
+
+    #[test]
+    fn import_hash_conses_across_managers() {
+        // Two source managers built in different orders: importing the "same"
+        // formula from both must yield one shared term id.
+        let mut a = TermManager::new();
+        let xa = a.var("x", Sort::Int);
+        let ya = a.var("y", Sort::Int);
+        let fa = {
+            let s = a.add(xa, ya);
+            a.le(s, xa)
+        };
+
+        let mut b = TermManager::new();
+        let _noise = b.var("noise", Sort::Bool);
+        let yb = b.var("y", Sort::Int);
+        let xb = b.var("x", Sort::Int);
+        let fb = {
+            let s = b.add(xb, yb);
+            b.le(s, xb)
+        };
+
+        let mut shared = TermManager::new();
+        let ia = shared.import(&a, &[fa], &mut HashMap::new())[0];
+        let ib = shared.import(&b, &[fb], &mut HashMap::new())[0];
+        assert_eq!(ia, ib);
+        // The imported term is structurally intact.
+        assert_eq!(
+            crate::hash::structural_hash(&a, fa),
+            crate::hash::structural_hash(&shared, ia)
+        );
+    }
+
+    #[test]
+    fn import_syncs_fresh_counter() {
+        let mut src = TermManager::new();
+        let v = src.fresh_var("w", Sort::Loc);
+        let mut dst = TermManager::new();
+        let iv = dst.import(&src, &[v], &mut HashMap::new())[0];
+        // A fresh name minted after the import must not collide with the
+        // imported fresh name.
+        let fresh = dst.fresh_var("w", Sort::Loc);
+        assert_ne!(iv, fresh);
+        assert_ne!(dst.term(iv).op, dst.term(fresh).op);
     }
 
     #[test]

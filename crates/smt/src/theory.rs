@@ -81,7 +81,7 @@ enum AtomKind {
 }
 
 /// Precomputed theory-checking context for a fixed set of atoms.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TheoryChecker {
     template: EufTemplate,
     kinds: HashMap<TermId, AtomKind>,

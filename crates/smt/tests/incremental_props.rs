@@ -153,6 +153,60 @@ proptest! {
         }
     }
 
+    /// The two-level scope discipline of a structure-scoped warm pool:
+    /// random "methods" (a residue assertion set plus scoped goal checks)
+    /// run inside method scopes over a shared random structure prelude. Every
+    /// check must match a fresh solver on prelude ∪ residue ∪ goal, no
+    /// matter how many earlier method scopes were opened, checked and rolled
+    /// back — and the prelude alone must still answer like a fresh solver
+    /// after each rollback.
+    #[test]
+    fn method_scopes_match_fresh_solver(seed in 0u64..48) {
+        let mut rng = XorShift::new(seed);
+        let mut tm = TermManager::new();
+        let universe = Universe::new(&mut tm);
+        let mut pool = IncrementalSolver::new();
+        let mut prelude: Vec<TermId> = Vec::new();
+        for _ in 0..(1 + rng.below(3)) {
+            let h = random_formula(&mut rng, &mut tm, &universe, 1);
+            prelude.push(h);
+            pool.assert(&mut tm, h);
+        }
+        let methods = 2 + rng.below(3);
+        for _ in 0..methods {
+            pool.push_method_scope();
+            let mut residue: Vec<TermId> = Vec::new();
+            for _ in 0..rng.below(3) {
+                let h = random_formula(&mut rng, &mut tm, &universe, 2);
+                residue.push(h);
+                pool.assert(&mut tm, h);
+            }
+            for _ in 0..(1 + rng.below(3)) {
+                let goal = random_formula(&mut rng, &mut tm, &universe, 2);
+                pool.push();
+                pool.assert(&mut tm, goal);
+                let pooled = pool.check(&mut tm);
+                pool.pop();
+                let mut fresh_query = prelude.clone();
+                fresh_query.extend(&residue);
+                fresh_query.push(goal);
+                let fresh = Solver::new().check(&mut tm, &fresh_query);
+                prop_assert_eq!(
+                    pooled,
+                    fresh,
+                    "seed {} diverged (prelude {}, residue {})",
+                    seed,
+                    prelude.len(),
+                    residue.len()
+                );
+            }
+            pool.pop_method_scope();
+            let after = pool.check(&mut tm);
+            let fresh_base = Solver::new().check(&mut tm, &prelude);
+            prop_assert_eq!(after, fresh_base, "seed {} diverged after rollback", seed);
+        }
+    }
+
     /// `check_valid_scoped` agrees with the batch solver's `check_valid` on
     /// hypothesis-entailment queries (the VC shape).
     #[test]

@@ -73,7 +73,20 @@ pub fn generate(
         let mut side = Vec::new();
         let t = encode_expr(tm, program, &env, &old_env, r, &mut side)?;
         ctx.assumptions.extend(side);
-        ctx.assumptions.push(t);
+        // Split top-level conjunctions into individual hypotheses. The VC
+        // formulas are unchanged — the antecedent `and` flattens nested
+        // conjunctions, so prefix *content* at every VC is identical — but
+        // the finer granularity widens the structure-common hypothesis
+        // prelude: methods sharing leading requires conjuncts (`Br == {}`,
+        // `x != nil`) now share them as positional hypotheses even when a
+        // later conjunct diverges.
+        match &tm.term(t).op {
+            ids_smt::Op::And => {
+                let conjuncts = tm.term(t).args.clone();
+                ctx.assumptions.extend(conjuncts);
+            }
+            _ => ctx.assumptions.push(t),
+        }
     }
 
     // ----------------------------------------------------------------- body

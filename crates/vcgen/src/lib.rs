@@ -34,7 +34,8 @@ pub mod qfcheck;
 
 use ids_ivl::Program;
 use ids_smt::{
-    IncrementalSolver, SatResult, Solver, SolverConfig, SolverStats, TermId, TermManager,
+    structural_hash, IncrementalSolver, SatResult, Solver, SolverConfig, SolverStats, TermId,
+    TermManager,
 };
 
 pub use encode::sort_of_type;
@@ -65,21 +66,101 @@ pub fn check_formula(
     (result, solver.stats())
 }
 
-/// The session-aware sibling of [`check_formula`]: one incremental solver
-/// shared across all VCs of a method.
+/// The hypothesis split of several methods of one data structure: a
+/// *structure-common prelude* every method starts with, identified across the
+/// methods' (independent) term managers by stable structural hashing
+/// ([`ids_smt::hash`]), and a per-method residue.
 ///
-/// The session asserts the method's hypothesis list once — incrementally, as
-/// successive VCs bring more of the (monotone) prefix into scope — and checks
-/// each goal as `push; assert guard; assert ¬goal; check; pop`, so the heap
-/// axioms, local-condition definitions and typing hypotheses of the method
-/// are lowered and clause-converted exactly once instead of once per VC.
+/// Every method of a structure is verified against the same intrinsic local
+/// conditions, so the leading hypotheses — `nil ∉ Alloc`, parameter typing,
+/// shared `requires` conjuncts — are byte-identical across methods. A
+/// structure-scoped warm solver pool asserts that prelude once, at structure
+/// scope, instead of once per method.
+///
+/// The prelude is a *prefix* (hypothesis lists are positional and VC `i`
+/// depends on exactly `hypotheses[..n_hyps]`), and it is capped at the
+/// smallest first-VC `n_hyps` across the grouped methods: asserting a
+/// hypothesis at structure scope before some VC's prefix reaches it would
+/// add hypotheses that VC must not see, changing verdicts.
+#[derive(Clone, Debug, Default)]
+pub struct StructureVcs {
+    /// Number of leading hypotheses shared by every grouped method.
+    pub prelude_len: usize,
+    /// Structural hashes of the shared prelude hypotheses, in order.
+    pub prelude_hashes: Vec<u128>,
+}
+
+impl StructureVcs {
+    /// Groups methods — each given as its term manager, hypothesis list and
+    /// VC list — into the common-prelude split. Methods without VCs never
+    /// assert hypotheses and are ignored; grouping zero (effective) methods
+    /// yields an empty prelude.
+    pub fn group(methods: &[(&TermManager, &[TermId], &[Vc])]) -> StructureVcs {
+        let mut prelude: Option<Vec<u128>> = None;
+        for (tm, hypotheses, vcs) in methods {
+            let Some(first_vc) = vcs.first() else {
+                continue;
+            };
+            // No hypothesis beyond the first VC's prefix may be asserted at
+            // structure scope for this method.
+            let cap = first_vc.n_hyps.min(hypotheses.len());
+            let hashes: Vec<u128> = hypotheses[..cap]
+                .iter()
+                .map(|&h| structural_hash(tm, h))
+                .collect();
+            prelude = Some(match prelude {
+                None => hashes,
+                Some(mut common) => {
+                    let lcp = common
+                        .iter()
+                        .zip(&hashes)
+                        .take_while(|(a, b)| a == b)
+                        .count();
+                    common.truncate(lcp);
+                    common
+                }
+            });
+        }
+        let prelude_hashes = prelude.unwrap_or_default();
+        StructureVcs {
+            prelude_len: prelude_hashes.len(),
+            prelude_hashes,
+        }
+    }
+}
+
+/// The session-aware sibling of [`check_formula`]: one incremental solver
+/// shared across all VCs of a method — or, with the structure-scope entry
+/// points, across all methods of a structure.
+///
+/// In the per-method shape (PR 3), the session asserts the method's
+/// hypothesis list once — incrementally, as successive VCs bring more of the
+/// (monotone) prefix into scope — and checks each goal as `push; assert
+/// guard; assert ¬goal; check; pop`, so the heap axioms, local-condition
+/// definitions and typing hypotheses of the method are lowered and
+/// clause-converted exactly once instead of once per VC.
+///
+/// In the structure-pool shape, [`VcSession::assert_prelude`] first pins the
+/// structure-common hypothesis prelude (see [`StructureVcs`]) at structure
+/// scope; each method is then bracketed by [`VcSession::begin_method`] /
+/// [`VcSession::end_method`], which map to the solver's method scope: the
+/// method's residue hypotheses and everything derived from them are retracted
+/// and rolled back when the method ends, while the prelude's lowered state
+/// survives for the next method.
 ///
 /// Only the decidable encoding is supported (see [`VcSession::supports`]);
-/// VCs must be checked in generation order (their hypothesis prefixes grow).
+/// each method's VCs must be checked in generation order (their hypothesis
+/// prefixes grow).
 pub struct VcSession {
     solver: IncrementalSolver,
-    /// How many leading hypotheses have been asserted so far.
+    /// How many leading hypotheses have been asserted so far (in the current
+    /// method, for a structure pool).
     asserted: usize,
+    /// How many leading hypotheses sit at structure scope.
+    prelude: usize,
+    /// Methods bracketed so far (structure pools credit the skipped prelude
+    /// as reuse from the second method on).
+    methods_begun: usize,
 }
 
 impl VcSession {
@@ -103,7 +184,57 @@ impl VcSession {
         VcSession {
             solver: IncrementalSolver::with_config(solver_config(encoding)),
             asserted: 0,
+            prelude: 0,
+            methods_begun: 0,
         }
+    }
+
+    /// Asserts the structure-common hypothesis prelude at structure scope
+    /// (permanently). Must be called at most once, before any
+    /// [`VcSession::begin_method`]; the same leading `prelude_len` hypotheses
+    /// must be shared — as identical term ids — by every method subsequently
+    /// checked through this session.
+    ///
+    /// # Panics
+    /// Panics if hypotheses were already asserted or a method is open.
+    pub fn assert_prelude(
+        &mut self,
+        tm: &mut TermManager,
+        hypotheses: &[TermId],
+        prelude_len: usize,
+    ) {
+        assert!(
+            self.asserted == 0 && self.prelude == 0 && self.methods_begun == 0,
+            "assert_prelude must come first"
+        );
+        for &h in &hypotheses[..prelude_len] {
+            self.solver.assert(tm, h);
+        }
+        self.prelude = prelude_len;
+        self.asserted = prelude_len;
+    }
+
+    /// Opens the next method's scope of a structure pool. The method's
+    /// residue hypotheses (asserted by [`VcSession::check_vc`] as its VCs
+    /// need them) and all facts derived from them are retracted — and the
+    /// solver's lowering/theory state rolled back — by the matching
+    /// [`VcSession::end_method`]; the prelude asserted via
+    /// [`VcSession::assert_prelude`] stays warm across methods.
+    pub fn begin_method(&mut self) {
+        self.solver.push_method_scope();
+        self.asserted = self.prelude;
+        if self.methods_begun > 0 {
+            // The prelude this method would otherwise re-lower was answered
+            // from structure-scope state: make the reuse observable.
+            self.solver.note_prelude_reuse(self.prelude as u64);
+        }
+        self.methods_begun += 1;
+    }
+
+    /// Closes the current method's scope (see [`VcSession::begin_method`]).
+    pub fn end_method(&mut self) {
+        self.solver.pop_method_scope();
+        self.asserted = self.prelude;
     }
 
     /// Checks one VC against the session state. Returns the same
@@ -408,6 +539,174 @@ mod tests {
             saw_refuted |= inc == SatResult::Unsat;
         }
         assert!(saw_refuted, "the test method should have a refuted VC");
+    }
+
+    #[test]
+    fn structure_group_finds_common_prelude_and_caps_at_first_vc() {
+        // Two methods with the same parameter shape and a shared leading
+        // requires: the prelude covers the common prefix; the early assert
+        // in `m2` caps it at m2's first-VC hypothesis count.
+        let program = parse_program(
+            r#"
+            field key: Int;
+            procedure m1(x: Loc, k: Int)
+              requires x != nil;
+              requires k > 0;
+            {
+              x.key := k;
+              assert x.key == k;
+            }
+            procedure m2(x: Loc, k: Int)
+              requires x != nil;
+              requires k > 10;
+            {
+              assert k > 5;
+              x.key := k;
+            }
+            "#,
+        )
+        .unwrap();
+        ids_ivl::check_program(&program).unwrap();
+        let gen = VcGen::new(&program, Encoding::Decidable);
+        let mut tm1 = TermManager::new();
+        let mv1 = gen.method_vcs(&mut tm1, "m1").unwrap();
+        let mut tm2 = TermManager::new();
+        let mv2 = gen.method_vcs(&mut tm2, "m2").unwrap();
+
+        let group = StructureVcs::group(&[
+            (&tm1, &mv1.hypotheses[..], &mv1.vcs[..]),
+            (&tm2, &mv2.hypotheses[..], &mv2.vcs[..]),
+        ]);
+        // The methods share `nil ∉ Alloc`, x's typing and `x != nil` but
+        // diverge at the second requires; both first VCs come after all
+        // requires, so the cap does not bite here.
+        assert!(
+            group.prelude_len >= 3,
+            "expected a common prelude, got {}",
+            group.prelude_len
+        );
+        assert!(group.prelude_len <= mv1.vcs[0].n_hyps);
+        assert!(group.prelude_len <= mv2.vcs[0].n_hyps);
+        // The prelude really is hash-identical across the managers.
+        for (i, h) in group.prelude_hashes.iter().enumerate() {
+            assert_eq!(*h, structural_hash(&tm1, mv1.hypotheses[i]));
+            assert_eq!(*h, structural_hash(&tm2, mv2.hypotheses[i]));
+        }
+        // A method whose first VC precedes most hypotheses caps the prelude.
+        let capped = StructureVcs::group(&[
+            (&tm1, &mv1.hypotheses[..], &mv1.vcs[..]),
+            (&tm2, &mv2.hypotheses[..2], &mv2.vcs[..]),
+        ]);
+        assert!(capped.prelude_len <= 2);
+        // Methods without VCs are ignored.
+        let empty = StructureVcs::group(&[(&tm1, &mv1.hypotheses[..], &[][..])]);
+        assert_eq!(empty.prelude_len, 0);
+    }
+
+    #[test]
+    fn structure_pool_session_matches_fresh_solver_across_methods() {
+        // Three methods of one "structure" — including one with a refuted VC
+        // in the middle — checked through ONE structure-pool session over a
+        // shared imported term manager: every verdict must match a fresh
+        // batch solver on the self-contained formula, and the prelude must
+        // be visibly reused from the second method on.
+        let program = parse_program(
+            r#"
+            field key: Int;
+            field ghost keys: Set<Int>;
+            procedure a(x: Loc, k: Int)
+              requires x != nil;
+              ensures x.key == k;
+            {
+              x.key := k;
+              x.keys := union(x.keys, {k});
+              assert k in x.keys;
+            }
+            procedure b(x: Loc, k: Int)
+              requires x != nil;
+            {
+              assert k in x.keys;
+              x.key := k;
+            }
+            procedure c(x: Loc, k: Int)
+              requires x != nil;
+              ensures x.key >= 0 || x.key < 0;
+            {
+              x.key := k + 1;
+              assert x.key == k + 1;
+            }
+            "#,
+        )
+        .unwrap();
+        ids_ivl::check_program(&program).unwrap();
+        let gen = VcGen::new(&program, Encoding::Decidable);
+        let methods: Vec<(TermManager, MethodVcs)> = ["a", "b", "c"]
+            .iter()
+            .map(|m| {
+                let mut tm = TermManager::new();
+                let mv = gen.method_vcs(&mut tm, m).unwrap();
+                (tm, mv)
+            })
+            .collect();
+        let group = StructureVcs::group(
+            &methods
+                .iter()
+                .map(|(tm, mv)| (tm, &mv.hypotheses[..], &mv.vcs[..]))
+                .collect::<Vec<_>>(),
+        );
+        assert!(group.prelude_len > 0);
+
+        // Import everything into one shared manager (what the core layer's
+        // StructureSession does): identical prelude hypotheses collapse to
+        // identical term ids.
+        let mut shared = TermManager::new();
+        let mut imported: Vec<(Vec<TermId>, Vec<Vc>)> = Vec::new();
+        for (tm, mv) in &methods {
+            let mut memo = std::collections::HashMap::new();
+            let hyps = shared.import(tm, &mv.hypotheses, &mut memo);
+            let vcs = mv
+                .vcs
+                .iter()
+                .map(|vc| Vc {
+                    description: vc.description.clone(),
+                    formula: shared.import(tm, &[vc.formula], &mut memo)[0],
+                    n_hyps: vc.n_hyps,
+                    guard: shared.import(tm, &[vc.guard], &mut memo)[0],
+                    goal: shared.import(tm, &[vc.goal], &mut memo)[0],
+                })
+                .collect();
+            imported.push((hyps, vcs));
+        }
+        for (hyps, _) in &imported {
+            assert_eq!(
+                hyps[..group.prelude_len],
+                imported[0].0[..group.prelude_len],
+                "imported prelude must hash-cons to shared ids"
+            );
+        }
+
+        let mut session = VcSession::new(Encoding::Decidable);
+        session.assert_prelude(&mut shared, &imported[0].0, group.prelude_len);
+        let mut saw_refuted = false;
+        let mut saw_reuse = false;
+        for (mi, (hyps, vcs)) in imported.iter().enumerate() {
+            session.begin_method();
+            for (vi, vc) in vcs.iter().enumerate() {
+                let (pool, stats) = session.check_vc(&mut shared, hyps, vc);
+                let (orig_tm, orig_mv) = &methods[mi];
+                let mut tm = orig_tm.clone();
+                let (fresh, _) =
+                    check_formula(&mut tm, orig_mv.vcs[vi].formula, Encoding::Decidable);
+                assert_eq!(pool, fresh, "verdict diverged on: {}", vc.description);
+                saw_refuted |= pool == SatResult::Unsat;
+                if mi > 0 && vi == 0 {
+                    saw_reuse |= stats.prelude_reused >= group.prelude_len as u64;
+                }
+            }
+            session.end_method();
+        }
+        assert!(saw_refuted, "method b's first assert should be refuted");
+        assert!(saw_reuse, "later methods must reuse the prelude");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use std::path::PathBuf;
 
 use intrinsic_verify::core::pipeline::{load_methods, verify_method_in, PipelineConfig};
-use intrinsic_verify::driver::{verify_selections, DriverConfig, Selection};
+use intrinsic_verify::driver::{verify_selections, DriverConfig, PoolMode, Selection};
 use intrinsic_verify::structures::lists;
 
 fn temp_cache(tag: &str) -> PathBuf {
@@ -90,13 +90,14 @@ fn warm_cache_rerun_discharges_zero_smt_queries() {
 }
 
 #[test]
-fn incremental_and_fresh_drivers_report_identically_across_structures() {
+fn pool_modes_report_identically_across_structures() {
     // One batch spanning several structure families plus a refuted method,
-    // run through incremental session units (default) and through fresh
-    // per-VC jobs (`--no-incremental`). The *reports* must be byte-identical:
-    // outcome kind and failing-VC description, VC counts, cache accounting.
-    // Only solver-internal statistics (conflicts, propagations, times) may
-    // differ between the two solving strategies.
+    // run through all three `--pool-mode` values: structure-scoped warm
+    // pools (default), per-method sessions and fresh per-VC jobs. The
+    // *reports* must be byte-identical: outcome kind and failing-VC
+    // description, VC counts, cache accounting. Only solver-internal
+    // statistics (conflicts, propagations, times, prelude reuse) may differ
+    // between the solving strategies.
     use intrinsic_verify::structures::trees;
     let sll = lists::singly_linked_list();
     let circ = lists::circular_list();
@@ -128,44 +129,52 @@ fn incremental_and_fresh_drivers_report_identically_across_structures() {
             methods: methods(&["bst_find_min"]),
         },
     ];
-    let incremental = verify_selections(
-        &selections,
-        &DriverConfig {
-            jobs: 2,
-            ..DriverConfig::default()
-        },
-    );
-    let fresh = verify_selections(
-        &selections,
-        &DriverConfig {
-            jobs: 2,
-            incremental: false,
-            ..DriverConfig::default()
-        },
-    );
-    assert!(incremental.errors.is_empty(), "{:?}", incremental.errors);
-    assert!(fresh.errors.is_empty(), "{:?}", fresh.errors);
-    assert_eq!(incremental.reports.len(), fresh.reports.len());
-    for (a, b) in incremental.reports.iter().zip(&fresh.reports) {
-        assert_eq!(a.structure, b.structure);
-        assert_eq!(a.method, b.method);
-        // Full outcome equality: kind *and* failing-VC description.
-        assert_eq!(
-            a.outcome, b.outcome,
-            "{}::{} diverged",
-            a.structure, a.method
-        );
-        assert_eq!(a.num_vcs, b.num_vcs);
-        // Stats-consistency: both modes did real solving work. (Cancellation
-        // timing under concurrency may make the exact query counts differ;
-        // the *reported* rows above may not.)
-        if a.outcome.is_verified() {
-            assert!(a.solver.theory_rounds > 0, "{}: {:?}", a.method, a.solver);
-            assert!(b.solver.theory_rounds > 0, "{}: {:?}", b.method, b.solver);
+    let run = |mode: PoolMode| {
+        verify_selections(
+            &selections,
+            &DriverConfig {
+                jobs: 2,
+                pool_mode: mode,
+                ..DriverConfig::default()
+            },
+        )
+    };
+    let structure = run(PoolMode::Structure);
+    let method = run(PoolMode::Method);
+    let fresh = run(PoolMode::None);
+    for (label, batch) in [
+        ("structure", &structure),
+        ("method", &method),
+        ("none", &fresh),
+    ] {
+        assert!(batch.errors.is_empty(), "{}: {:?}", label, batch.errors);
+        assert_eq!(batch.reports.len(), structure.reports.len(), "{}", label);
+        assert_eq!(batch.stats.vcs, structure.stats.vcs, "{}", label);
+    }
+    for (label, other) in [("method", &method), ("none", &fresh)] {
+        for (a, b) in structure.reports.iter().zip(&other.reports) {
+            assert_eq!(a.structure, b.structure, "{}", label);
+            assert_eq!(a.method, b.method, "{}", label);
+            // Full outcome equality: kind *and* failing-VC description.
+            assert_eq!(
+                a.outcome, b.outcome,
+                "{}::{} diverged under pool mode {}",
+                a.structure, a.method, label
+            );
+            assert_eq!(a.num_vcs, b.num_vcs);
         }
     }
-    assert_eq!(incremental.stats.vcs, fresh.stats.vcs);
-    assert!(!incremental.all_verified(), "the buggy method must fail");
+    // Stats-consistency: every mode did real solving work. (Cancellation
+    // timing under concurrency may make the exact query counts differ; the
+    // *reported* rows above may not.)
+    for batch in [&structure, &method, &fresh] {
+        for r in &batch.reports {
+            if r.outcome.is_verified() {
+                assert!(r.solver.theory_rounds > 0, "{}: {:?}", r.method, r.solver);
+            }
+        }
+    }
+    assert!(!structure.all_verified(), "the buggy method must fail");
 }
 
 #[test]

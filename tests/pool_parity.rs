@@ -1,0 +1,184 @@
+//! Property test: the three solver pool modes are observationally identical.
+//!
+//! On random subsets (and orders) of a structure's methods — including
+//! methods refuted at different VCs, so early-stop interleavings are
+//! exercised — `--pool-mode structure`, `--pool-mode method` and
+//! `--pool-mode none` must produce byte-identical reports: outcome kind,
+//! failing-VC description and VC counts. On subsets without refutations the
+//! number of discharged SMT queries must also be identical (each deduplicated
+//! VC is solved exactly once in every mode); with refutations the counts may
+//! differ only through cancellation timing, never the reports.
+
+use intrinsic_verify::core::IntrinsicDefinition;
+use intrinsic_verify::driver::{verify_selections, DriverConfig, PoolMode, Selection};
+use proptest::prelude::*;
+
+fn list_ids() -> IntrinsicDefinition {
+    IntrinsicDefinition::parse(
+        "acyclic-list",
+        r#"
+        field next: Loc;
+        field ghost prev: Loc;
+        field ghost length: Int;
+        "#,
+        "(x.next != nil ==> x.next.prev == x && x.length == x.next.length + 1) \
+         && (x.prev != nil ==> x.prev.next == x) \
+         && (x.next == nil ==> x.length == 1) \
+         && (x.length >= 1)",
+        "y",
+        "y.prev == nil",
+        &[
+            ("next", &["x", "old(x.next)"]),
+            ("prev", &["x", "old(x.prev)"]),
+            ("length", &["x", "x.prev"]),
+        ],
+    )
+    .unwrap()
+}
+
+/// Four methods with distinct cost/verdict profiles: a multi-VC verifying
+/// method, a cheap verifying method, a method refuted at its first VC, and a
+/// method refuted mid-way (its trailing VCs are early-stopped).
+const METHODS_SRC: &str = r#"
+    procedure insert_front(x: Loc) returns (r: Loc)
+      requires Br == {} && x != nil && x.prev == nil;
+      ensures Br == {} && r != nil && r.prev == nil;
+      modifies {};
+    {
+      InferLCOutsideBr(x);
+      var z: Loc;
+      NewObj(z);
+      Mut(z, next, x);
+      Mut(z, length, x.length + 1);
+      Mut(z, prev, nil);
+      Mut(x, prev, z);
+      AssertLCAndRemove(z);
+      AssertLCAndRemove(x);
+      r := z;
+    }
+    procedure touch(x: Loc)
+      requires Br == {} && x != nil;
+      ensures Br == {};
+      modifies {};
+    {
+      InferLCOutsideBr(x);
+      AssertLCAndRemove(x);
+    }
+    procedure detach_bad(x: Loc)
+      requires Br == {} && x != nil;
+      ensures Br == {};
+      modifies {};
+    {
+      Mut(x, next, nil);
+    }
+    procedure forgets_length(x: Loc) returns (r: Loc)
+      requires Br == {} && x != nil && x.prev == nil;
+      ensures Br == {} && r != nil;
+      modifies {};
+    {
+      InferLCOutsideBr(x);
+      var z: Loc;
+      NewObj(z);
+      Mut(z, next, x);
+      Mut(z, prev, nil);
+      Mut(x, prev, z);
+      AssertLCAndRemove(z);
+      AssertLCAndRemove(x);
+      r := z;
+    }
+"#;
+
+const METHOD_NAMES: [&str; 4] = ["insert_front", "touch", "detach_bad", "forgets_length"];
+const REFUTED: [&str; 2] = ["detach_bad", "forgets_length"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn pool_modes_agree_on_random_method_subsets(
+        mask in 1usize..16,
+        reverse in 0usize..2,
+        jobs in 1usize..3,
+    ) {
+        let mut methods: Vec<String> = METHOD_NAMES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, m)| m.to_string())
+            .collect();
+        if reverse == 1 {
+            methods.reverse();
+        }
+        let ids = list_ids();
+        let selection = Selection {
+            name: "acyclic-list",
+            definition: &ids,
+            methods_src: METHODS_SRC,
+            methods: methods.clone(),
+        };
+        let run = |mode: PoolMode| {
+            verify_selections(
+                std::slice::from_ref(&selection),
+                &DriverConfig {
+                    jobs,
+                    pool_mode: mode,
+                    cache_path: None,
+                    ..DriverConfig::default()
+                },
+            )
+        };
+        let structure = run(PoolMode::Structure);
+        let method = run(PoolMode::Method);
+        let fresh = run(PoolMode::None);
+
+        for (label, batch) in [("structure", &structure), ("method", &method), ("none", &fresh)] {
+            prop_assert!(batch.errors.is_empty(), "{}: {:?}", label, batch.errors);
+            prop_assert_eq!(batch.reports.len(), methods.len(), "{}", label);
+            // Accounting invariant: every VC is cached, solved or skipped.
+            prop_assert_eq!(
+                batch.stats.cache_hits + batch.stats.smt_queries + batch.stats.skipped_vcs,
+                batch.stats.vcs,
+                "{}: {:?}",
+                label,
+                batch.stats
+            );
+        }
+        for (label, other) in [("method", &method), ("none", &fresh)] {
+            for (a, b) in structure.reports.iter().zip(&other.reports) {
+                prop_assert_eq!(&a.method, &b.method);
+                prop_assert_eq!(
+                    &a.outcome,
+                    &b.outcome,
+                    "methods {:?} jobs {}: {} diverged under pool mode {}",
+                    &methods,
+                    jobs,
+                    &a.method,
+                    label
+                );
+                prop_assert_eq!(a.num_vcs, b.num_vcs);
+            }
+            prop_assert_eq!(structure.stats.vcs, other.stats.vcs);
+        }
+        for (name, report) in methods.iter().zip(&structure.reports) {
+            prop_assert_eq!(
+                report.outcome.is_verified(),
+                !REFUTED.contains(&name.as_str()),
+                "{} verdict",
+                name
+            );
+        }
+        // Without refutations there is no cancellation: every mode solves
+        // each deduplicated VC exactly once — query counts are identical.
+        if !methods.iter().any(|m| REFUTED.contains(&m.as_str())) {
+            for (label, other) in [("method", &method), ("none", &fresh)] {
+                prop_assert_eq!(
+                    structure.stats.smt_queries,
+                    other.stats.smt_queries,
+                    "query counts diverged under pool mode {} (methods {:?})",
+                    label,
+                    &methods
+                );
+                prop_assert_eq!(structure.stats.cache_hits, other.stats.cache_hits);
+            }
+        }
+    }
+}
