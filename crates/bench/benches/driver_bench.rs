@@ -12,6 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ids_driver::{verify_selections, DriverConfig, PoolMode, Selection};
+use ids_smt::SolverProfile;
 use ids_structures::lists;
 
 fn sll_selection<'a>(
@@ -78,6 +79,30 @@ fn bench_driver(c: &mut Criterion) {
                 jobs: 1,
                 cache_path: None,
                 pool_mode: mode,
+                ..DriverConfig::default()
+            };
+            b.iter(|| {
+                let batch = verify_selections(&selections, &config);
+                assert!(batch.errors.is_empty());
+                batch.reports.len()
+            });
+        });
+    }
+
+    // Solver heuristics profiles on the same multi-method slice: `default`
+    // (Luby restarts + LBD clause deletion + hybrid pivoting + fast hashing)
+    // vs `legacy` (the pre-tuning geometric/keep-everything/Bland solver).
+    // Verdicts are identical; this pair measures the heuristics alone.
+    for (label, profile) in [
+        ("profile_default_3methods_jobs1", SolverProfile::Default),
+        ("profile_legacy_3methods_jobs1", SolverProfile::Legacy),
+    ] {
+        group.bench_function(label, |b| {
+            let selections = sll_selection(&ids, &pool_methods);
+            let config = DriverConfig {
+                jobs: 1,
+                cache_path: None,
+                solver_profile: profile,
                 ..DriverConfig::default()
             };
             b.iter(|| {

@@ -14,8 +14,8 @@
 use std::time::{Duration, Instant};
 
 use ids_ivl::{ast, parse_program, Procedure, Program};
-use ids_smt::{structural_hash, SatResult, SolverStats, TermId, TermManager};
-use ids_vcgen::{check_formula, Encoding, StructureVcs, Vc, VcGen, VcSession, VerifyOutcome};
+use ids_smt::{structural_hash, SatResult, SolverProfile, SolverStats, TermId, TermManager};
+use ids_vcgen::{check_formula_with, Encoding, StructureVcs, Vc, VcGen, VcSession, VerifyOutcome};
 
 use crate::fwyb::{expand_program, ExpandError};
 use crate::ghost::{check_ghost_legality, GhostViolation};
@@ -30,6 +30,9 @@ pub struct PipelineConfig {
     /// If true (default false), well-behavedness violations abort verification
     /// instead of only being reported.
     pub strict_wellbehaved: bool,
+    /// Solver heuristics profile. Never affects verdicts or VC cache keys —
+    /// only how fast the solver reaches them.
+    pub profile: SolverProfile,
 }
 
 /// Errors of the pipeline (before verification even starts).
@@ -183,6 +186,9 @@ pub struct MethodTask {
     pub hypotheses: Vec<TermId>,
     /// The encoding the VCs were generated under.
     pub encoding: Encoding,
+    /// The solver heuristics profile the VCs will be discharged under
+    /// (irrelevant to `vc_key`: the profile cannot change verdicts).
+    pub profile: SolverProfile,
     /// Time spent expanding + generating VCs.
     pub prepare_time: Duration,
     /// Lines of executable code.
@@ -228,7 +234,8 @@ impl MethodTask {
     /// reuses one manager across the method's VCs to avoid re-cloning).
     pub fn check_vc_in(&self, tm: &mut TermManager, vc_index: usize) -> VcResult {
         let start = Instant::now();
-        let (result, stats) = check_formula(tm, self.vcs[vc_index].formula, self.encoding);
+        let (result, stats) =
+            check_formula_with(tm, self.vcs[vc_index].formula, self.encoding, self.profile);
         let verdict = match result {
             SatResult::Sat => VcVerdict::Valid,
             SatResult::Unsat => VcVerdict::Refuted,
@@ -359,7 +366,7 @@ impl<'a> MethodSession<'a> {
         Some(MethodSession {
             task,
             tm: task.tm.clone(),
-            session: VcSession::new(task.encoding),
+            session: VcSession::with_profile(task.encoding, task.profile),
         })
     }
 
@@ -425,7 +432,12 @@ impl StructureSession {
     /// (quantified RQ3 mode — all tasks of a batch share one encoding).
     pub fn new(tasks: &[&MethodTask]) -> Option<StructureSession> {
         let encoding = tasks.first()?.encoding;
-        if !VcSession::supports(encoding) || tasks.iter().any(|t| t.encoding != encoding) {
+        let profile = tasks.first()?.profile;
+        if !VcSession::supports(encoding)
+            || tasks
+                .iter()
+                .any(|t| t.encoding != encoding || t.profile != profile)
+        {
             return None;
         }
         let group = StructureVcs::group(
@@ -475,7 +487,7 @@ impl StructureSession {
                 }
             }
         }
-        let mut session = VcSession::new(encoding);
+        let mut session = VcSession::with_profile(encoding, profile);
         if let Some(first) = methods.iter().find(|m| !m.vcs.is_empty()) {
             session.assert_prelude(&mut tm, &first.hypotheses, group.prelude_len);
         }
@@ -636,6 +648,7 @@ pub fn prepare_method_in(
         vcs: generated.vcs,
         hypotheses: generated.hypotheses,
         encoding: config.encoding,
+        profile: config.profile,
         prepare_time,
         loc: ast::executable_loc(&proc),
         spec: ast::spec_lines(&proc),
@@ -675,6 +688,7 @@ pub fn prepare_plain(
         vcs: generated.vcs,
         hypotheses: generated.hypotheses,
         encoding: config.encoding,
+        profile: config.profile,
         prepare_time,
         loc: ast::executable_loc(&proc),
         spec: ast::spec_lines(&proc),

@@ -19,7 +19,7 @@ use ids_core::pipeline::{prepare_plain, PipelineConfig};
 use ids_core::report::{format_table, Table2Row};
 use ids_driver::json::Json;
 use ids_driver::{verify_selections, verify_tasks, BatchReport, DriverConfig, PoolMode, Selection};
-use ids_smt::SolverStats;
+use ids_smt::{SolverProfile, SolverStats};
 use ids_structures::{all_benchmarks, quick_benchmarks};
 use ids_vcgen::Encoding;
 
@@ -43,6 +43,12 @@ OPTIONS:
                          method     one incremental session per method
                          none       a fresh solver per VC
     --no-incremental   deprecated alias for --pool-mode none
+    --solver-profile P solver search heuristics (verdicts are identical in
+                       every profile):
+                         default    Luby restarts, LBD-based learned-clause
+                                    deletion, hybrid simplex pivoting
+                         legacy     geometric restarts, no clause deletion,
+                                    Bland pivoting (pre-tuning behaviour)
     --quick            (suite) only the quick benchmark subset
     --structure NAME   (suite) only structures whose name contains NAME
                        (substring match, case-insensitive);
@@ -58,6 +64,7 @@ struct Options {
     json: bool,
     quantified: bool,
     pool_mode: PoolMode,
+    solver_profile: SolverProfile,
     quick: bool,
     structure: Option<String>,
     methods: Vec<String>,
@@ -78,6 +85,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         json: false,
         quantified: false,
         pool_mode: PoolMode::default(),
+        solver_profile: SolverProfile::default(),
         quick: false,
         structure: None,
         methods: Vec::new(),
@@ -112,6 +120,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 })?;
             }
             "--no-incremental" => o.pool_mode = PoolMode::None,
+            "--solver-profile" => {
+                let v = value_of("--solver-profile")?;
+                o.solver_profile = SolverProfile::parse(&v).ok_or_else(|| {
+                    format!(
+                        "invalid --solver-profile '{}' (expected default or legacy)",
+                        v
+                    )
+                })?;
+            }
             "--quick" => o.quick = true,
             "--structure" => o.structure = Some(value_of("--structure")?),
             "--method" => o.methods.push(value_of("--method")?),
@@ -132,6 +149,7 @@ fn driver_config(o: &Options) -> DriverConfig {
         },
         cache_path: o.cache.clone(),
         pool_mode: o.pool_mode,
+        solver_profile: o.solver_profile,
         ..DriverConfig::default()
     };
     if let Some(jobs) = o.jobs {
@@ -237,6 +255,7 @@ fn run_verify(options: &Options) -> ExitCode {
     let config = driver_config(options);
     let pipeline_config = PipelineConfig {
         encoding: config.encoding,
+        profile: config.solver_profile,
         ..PipelineConfig::default()
     };
 
@@ -384,7 +403,7 @@ fn emit(batch: &BatchReport, config: &DriverConfig, command: &str, json: bool) -
             .filter(|r| r.outcome.is_verified())
             .count();
         println!(
-            "\n{} methods ({} verified, {} failed), {} VCs | cache hits {}, SMT queries {}, skipped {} | prelude reused {}, lowered {} | wall {:.2}s (jobs={}, pool={})",
+            "\n{} methods ({} verified, {} failed), {} VCs | cache hits {}, SMT queries {}, skipped {} | prelude reused {}, lowered {} | wall {:.2}s (jobs={}, pool={}, profile={})",
             s.methods,
             verified,
             s.methods - verified,
@@ -397,6 +416,7 @@ fn emit(batch: &BatchReport, config: &DriverConfig, command: &str, json: bool) -
             s.wall.as_secs_f64(),
             config.jobs,
             config.pool_mode.as_str(),
+            config.solver_profile.as_str(),
         );
     }
     if !batch.errors.is_empty() {
@@ -418,6 +438,11 @@ fn solver_json(j: &mut Json, s: &SolverStats) {
     j.num_field("theory_time_s", s.theory_time.as_secs_f64());
     j.num_field("prelude_reused", s.prelude_reused as f64);
     j.num_field("prelude_lowered", s.prelude_lowered as f64);
+    j.num_field("restarts", s.restarts as f64);
+    j.num_field("learned_kept", s.learned_kept as f64);
+    j.num_field("learned_deleted", s.learned_deleted as f64);
+    j.num_field("max_lbd", s.max_lbd as f64);
+    j.num_field("pivots", s.pivots as f64);
     j.end_object();
 }
 
@@ -427,6 +452,7 @@ fn to_json(batch: &BatchReport, config: &DriverConfig, command: &str) -> String 
     j.str_field("command", command);
     j.num_field("jobs", config.jobs as f64);
     j.str_field("pool_mode", config.pool_mode.as_str());
+    j.str_field("solver_profile", config.solver_profile.as_str());
     j.key("rows");
     j.begin_array();
     for r in &batch.reports {

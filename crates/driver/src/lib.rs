@@ -61,7 +61,7 @@ use ids_core::pipeline::{
     load_methods, prepare_method_in, MethodReport, MethodTask, PipelineConfig, VcResult,
 };
 use ids_core::IntrinsicDefinition;
-use ids_smt::SolverStats;
+use ids_smt::{SolverProfile, SolverStats};
 use ids_structures::Benchmark;
 use ids_vcgen::Encoding;
 
@@ -121,6 +121,10 @@ pub struct DriverConfig {
     pub cache_path: Option<PathBuf>,
     /// Solver-state sharing across queries (see [`PoolMode`]).
     pub pool_mode: PoolMode,
+    /// Solver search-heuristics profile (`--solver-profile`). Verdicts, VC
+    /// cache keys and dedup behaviour are byte-identical across profiles;
+    /// only solve times and solver-internal telemetry differ.
+    pub solver_profile: SolverProfile,
 }
 
 impl Default for DriverConfig {
@@ -132,6 +136,7 @@ impl Default for DriverConfig {
             encoding: Encoding::default(),
             cache_path: None,
             pool_mode: PoolMode::default(),
+            solver_profile: SolverProfile::default(),
         }
     }
 }
@@ -141,6 +146,7 @@ impl DriverConfig {
     fn pipeline_config(&self) -> PipelineConfig {
         PipelineConfig {
             encoding: self.encoding,
+            profile: self.solver_profile,
             ..PipelineConfig::default()
         }
     }

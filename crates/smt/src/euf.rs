@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 
+use crate::fxmap::FxHashMap;
 use crate::term::{Op, TermId, TermManager};
 
 /// Why two nodes were merged.
@@ -57,7 +58,7 @@ struct AppNode {
 #[derive(Clone, Debug, Default)]
 pub struct EufTemplate {
     terms: Vec<TermId>,
-    node_of_term: HashMap<TermId, usize>,
+    node_of_term: FxHashMap<TermId, usize>,
     app_nodes: Vec<AppNode>,
     /// Interned operators, kept so the template can be extended with new
     /// terms later (incremental sessions) without renumbering.
@@ -224,46 +225,73 @@ impl<'a> Euf<'a> {
         // Repeatedly hash every application node by (operator, canonical
         // argument representatives); nodes that collide on the full signature
         // are congruent and get merged. Iterate until no merge happens.
-        let mut sig_table: HashMap<u64, Vec<usize>> =
-            HashMap::with_capacity(self.template.app_nodes.len());
+        //
+        // Equal signatures are grouped by SORTING the (hash, node) pairs
+        // rather than by a hash table: this inner loop dominates EUF-heavy
+        // VCs (tens of thousands of DPLL(T) rounds over thousands of
+        // application nodes), and sort-based grouping does no re-hashing and
+        // no per-bucket allocation. Signatures are computed for the whole
+        // pass before any merge (the old table-based pass re-hashed against
+        // the union-find as it mutated), so intra-pass merge cascades can
+        // land in a later pass and individual merge partners — hence which
+        // of several valid explanations a conflict reports — may differ;
+        // the closure reached at fixpoint is the same either way.
+        let n_apps = self.template.app_nodes.len();
+        let mut sigs: Vec<(u64, u32)> = Vec::with_capacity(n_apps);
+        let mut reps: Vec<u32> = Vec::new();
         loop {
             let mut changed = false;
-            sig_table.clear();
-            for ai in 0..self.template.app_nodes.len() {
-                let (node_i, op_i) = {
-                    let app = &self.template.app_nodes[ai];
-                    (app.node, app.op)
-                };
-                // FNV-style signature hash over (op, canonical args).
-                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-                h = (h ^ u64::from(op_i)).wrapping_mul(0x0000_0100_0000_01b3);
-                for k in 0..self.template.app_nodes[ai].args.len() {
-                    let arg = self.template.app_nodes[ai].args[k];
-                    let rep = find_in(&mut self.parent, arg) as u64;
-                    h = (h ^ rep).wrapping_mul(0x0000_0100_0000_01b3);
-                }
-                let bucket = sig_table.entry(h).or_default();
-                let mut merged_with: Option<usize> = None;
-                for &aj in bucket.iter() {
-                    if self.congruent_apps(ai, aj) {
-                        let node_j = self.template.app_nodes[aj].node;
-                        let (fi, fj) = (
-                            find_in(&mut self.parent, node_i),
-                            find_in(&mut self.parent, node_j),
-                        );
-                        if fi != fj {
-                            merged_with = Some(node_j);
-                        }
-                        break;
+            sigs.clear();
+            {
+                // Disjoint field borrows: the template is read-only while the
+                // union-find array is path-compressed.
+                let template: &EufTemplate = &self.template;
+                let parent = &mut self.parent;
+                for (ai, app) in template.app_nodes.iter().enumerate() {
+                    // FNV-style signature hash over (op, canonical args).
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    h = (h ^ u64::from(app.op)).wrapping_mul(0x0000_0100_0000_01b3);
+                    for &arg in &app.args {
+                        let rep = find_in(parent, arg) as u64;
+                        h = (h ^ rep).wrapping_mul(0x0000_0100_0000_01b3);
                     }
+                    sigs.push((h, ai as u32));
                 }
-                if let Some(node_j) = merged_with {
-                    // Re-borrow mutably outside the bucket iteration.
-                    let aj_node = node_j;
-                    self.merge(node_i, aj_node, Reason::Congruence(node_i, aj_node));
-                    changed = true;
-                } else {
-                    sig_table.get_mut(&h).expect("bucket exists").push(ai);
+            }
+            sigs.sort_unstable();
+            let mut i = 0;
+            while i < sigs.len() {
+                let h = sigs[i].0;
+                reps.clear();
+                while i < sigs.len() && sigs[i].0 == h {
+                    let ai = sigs[i].1 as usize;
+                    i += 1;
+                    let node_i = self.template.app_nodes[ai].node;
+                    let mut merged_with: Option<usize> = None;
+                    for &rep in &reps {
+                        let aj = rep as usize;
+                        if self.congruent_apps(ai, aj) {
+                            let node_j = self.template.app_nodes[aj].node;
+                            let (fi, fj) = (
+                                find_in(&mut self.parent, node_i),
+                                find_in(&mut self.parent, node_j),
+                            );
+                            if fi != fj {
+                                merged_with = Some(node_j);
+                            }
+                            break;
+                        }
+                    }
+                    if let Some(node_j) = merged_with {
+                        self.merge(node_i, node_j, Reason::Congruence(node_i, node_j));
+                        changed = true;
+                    } else {
+                        // Not congruent to any representative, or congruent
+                        // but already in the same class — either way this
+                        // node joins the representatives, exactly as the old
+                        // table-based pass pushed into its bucket.
+                        reps.push(ai as u32);
+                    }
                 }
             }
             if !changed {

@@ -181,9 +181,9 @@ impl IncrementalSolver {
     pub fn with_config(config: SolverConfig) -> IncrementalSolver {
         IncrementalSolver {
             config,
-            // NB: `SatSolver::new()`, not `default()` — only `new` produces a
-            // usable (consistent) solver.
-            sat: SatSolver::new(),
+            // NB: `SatSolver::with_options`, not `default()` — only the
+            // constructors produce a usable (consistent) solver.
+            sat: SatSolver::with_options(config.sat),
             atom_map: AtomMap::default(),
             lower: LowerCtx::new(),
             checker: None,
@@ -202,8 +202,10 @@ impl IncrementalSolver {
     }
 
     /// Statistics of the last [`IncrementalSolver::check`] call. SAT counters
-    /// are per-check deltas; `initial_clauses` and `atoms` report the
-    /// cumulative session size at the time of the check.
+    /// (conflicts, decisions, propagations, restarts, `learned_deleted`) are
+    /// per-check deltas; `initial_clauses`, `atoms`, `learned_kept` and
+    /// `max_lbd` report the cumulative session state at the time of the
+    /// check.
     pub fn stats(&self) -> SolverStats {
         self.stats
     }
@@ -441,6 +443,8 @@ impl IncrementalSolver {
             self.sat.conflicts,
             self.sat.decisions,
             self.sat.propagations,
+            self.sat.restarts,
+            self.sat.learned_deleted,
         );
         let assumptions: Vec<Lit> = self.scopes.iter().map(|s| Lit::new(s.act, true)).collect();
 
@@ -449,10 +453,15 @@ impl IncrementalSolver {
         let checker = self.checker.as_ref().expect("checker built above");
         let sat = &mut self.sat;
         let stats = &mut self.stats;
+        let pivot = self.config.pivot;
         let snapshot = |stats: &mut SolverStats, sat: &SatSolver| {
             stats.sat_conflicts = sat.conflicts - base.0;
             stats.sat_decisions = sat.decisions - base.1;
             stats.sat_propagations = sat.propagations - base.2;
+            stats.restarts = sat.restarts - base.3;
+            stats.learned_deleted = sat.learned_deleted - base.4;
+            stats.learned_kept = sat.num_learned() as u64;
+            stats.max_lbd = sat.max_lbd as u64;
         };
 
         for round in 0..self.config.max_theory_rounds {
@@ -473,8 +482,9 @@ impl IncrementalSolver {
             }
             let literals = live_literals(&self.atom_map, sat, &self.atom_scope, &self.scopes);
             let theory_start = std::time::Instant::now();
-            let theory_result = checker.check(tm, &literals);
+            let (theory_result, pivots) = checker.check_with(tm, &literals, pivot);
             stats.theory_time += theory_start.elapsed();
+            stats.pivots += pivots;
             match theory_result {
                 TheoryCheck::Consistent => {
                     snapshot(stats, sat);

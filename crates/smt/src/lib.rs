@@ -47,6 +47,7 @@
 
 pub mod cnf;
 pub mod euf;
+mod fxmap;
 pub mod hash;
 pub mod incremental;
 pub mod lower;
@@ -64,9 +65,10 @@ pub use hash::structural_hash;
 pub use incremental::IncrementalSolver;
 pub use model::Model;
 pub use rational::Rat;
-pub use sat::SatResult;
+pub use sat::{ClauseDbOptions, RestartPolicy, SatOptions, SatResult};
+pub use simplex::PivotRule;
 pub use smtlib::to_smtlib;
-pub use solver::{Solver, SolverConfig, SolverStats};
+pub use solver::{Solver, SolverConfig, SolverProfile, SolverStats};
 pub use term::{Op, Sort, Term, TermId, TermManager};
 
 /// Parses the zero-padded lowercase-hex `u64` emitted by the build script.

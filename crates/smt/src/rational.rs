@@ -116,6 +116,13 @@ impl Rat {
         Rat::new(self.den, self.num)
     }
 
+    /// A lossy `f64` approximation, for *heuristic* comparisons only (pivot
+    /// selection): exact rational arithmetic normalizes through gcd on every
+    /// operation, far too expensive for a scan that only needs a ranking.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
     /// Absolute value.
     pub fn abs(&self) -> Rat {
         Rat {

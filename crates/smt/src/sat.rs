@@ -1,12 +1,122 @@
 //! A CDCL SAT solver: two-watched-literal propagation, first-UIP clause
-//! learning, VSIDS-style variable activities, phase saving and geometric
-//! restarts.
+//! learning, VSIDS-style variable activities, phase saving, configurable
+//! (Luby or geometric) restarts and LBD-based learned-clause database
+//! management.
 //!
 //! The solver is used incrementally by the lazy DPLL(T) loop in
 //! [`crate::solver`]: after each propositionally satisfying assignment, theory
 //! conflict clauses are added and `solve` is called again.
+//!
+//! # Learned-clause deletion and soundness
+//!
+//! Clauses learned by first-UIP analysis are resolvents of input and learned
+//! clauses only, so they are logically implied and *deleting* them can never
+//! change a verdict — it only costs re-derivation. Three clause categories
+//! are therefore never deleted by `reduce_db`:
+//!
+//! * **input clauses** (including the activation-literal-guarded scope
+//!   clauses of [`crate::incremental`]) — they define the problem;
+//! * **theory conflict clauses** ([`SatSolver::add_theory_conflict`]) — they
+//!   carry theory facts the SAT core cannot re-derive, and the termination
+//!   argument of the lazy DPLL(T) loop (every propositional model is refuted
+//!   at most once) depends on them persisting;
+//! * **locked clauses** — the current reason of an assigned literal — and
+//!   **glue clauses** (LBD ≤ [`ClauseDbOptions::glue_lbd`]), following the
+//!   Glucose heuristic that low-LBD clauses are worth keeping forever.
+//!
+//! Deletion is tombstone-based: a deleted clause keeps its index (indices are
+//! used as `reason` handles and in watch lists) but drops its literals; watch
+//! lists shed dead indices lazily during propagation.
 
 use std::fmt;
+
+/// The restart schedule of the CDCL search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Restart after `unit * luby(i)` conflicts, where `luby` is the Luby
+    /// sequence 1,1,2,1,1,2,4,… — the de-facto standard schedule: frequent
+    /// cheap restarts interleaved with exponentially growing deep dives.
+    Luby {
+        /// Base number of conflicts multiplied by the Luby sequence.
+        unit: u64,
+    },
+    /// The legacy schedule: first restart after `start` conflicts, each
+    /// subsequent limit 1.5× the previous.
+    Geometric {
+        /// Conflicts before the first restart.
+        start: u64,
+    },
+}
+
+/// Learned-clause database management knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClauseDbOptions {
+    /// Whether periodic deletion runs at all (off reproduces the legacy
+    /// keep-everything behaviour).
+    pub enabled: bool,
+    /// Conflicts before the first `reduce_db` run.
+    pub first_reduce: u64,
+    /// How much the reduction interval grows after every reduction.
+    pub reduce_inc: u64,
+    /// Clauses with an LBD at or below this are *glue* and never deleted.
+    pub glue_lbd: u32,
+}
+
+/// Tuning options of the SAT core (restart schedule + clause database).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SatOptions {
+    /// Restart schedule.
+    pub restart: RestartPolicy,
+    /// Learned-clause database management.
+    pub clause_db: ClauseDbOptions,
+}
+
+impl Default for SatOptions {
+    /// The tuned profile: Luby restarts and LBD-based clause deletion.
+    fn default() -> SatOptions {
+        SatOptions {
+            restart: RestartPolicy::Luby { unit: 100 },
+            clause_db: ClauseDbOptions {
+                enabled: true,
+                first_reduce: 2000,
+                reduce_inc: 300,
+                glue_lbd: 2,
+            },
+        }
+    }
+}
+
+impl SatOptions {
+    /// The pre-tuning behaviour: geometric restarts, no clause deletion.
+    pub fn legacy() -> SatOptions {
+        SatOptions {
+            restart: RestartPolicy::Geometric { start: 100 },
+            clause_db: ClauseDbOptions {
+                enabled: false,
+                first_reduce: u64::MAX,
+                reduce_inc: 0,
+                glue_lbd: 2,
+            },
+        }
+    }
+}
+
+/// The Luby sequence 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,… (1-indexed).
+fn luby(i: u64) -> u64 {
+    // Find the smallest k with 2^k - 1 >= i; i at the end of such a block is
+    // 2^(k-1), anywhere else recurse into the repeated prefix.
+    let mut x = i;
+    loop {
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < x {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == x {
+            return 1u64 << (k - 1);
+        }
+        x -= (1u64 << (k - 1)) - 1;
+    }
+}
 
 /// A propositional variable index.
 pub type Var = u32;
@@ -73,6 +183,17 @@ enum Value {
 struct Clause {
     lits: Vec<Lit>,
     learned: bool,
+    /// Learned clauses that [`SatSolver::reduce_db`] may delete: first-UIP
+    /// resolvents only. Input and theory conflict clauses are protected (see
+    /// the module documentation).
+    deletable: bool,
+    /// Tombstone: the clause is logically gone but keeps its index so that
+    /// `reason` handles and watch lists stay valid; `lits` is emptied.
+    deleted: bool,
+    /// Literal-block distance at learning time (0 for non-deletable clauses).
+    lbd: u32,
+    /// Bump-and-decay activity, the deletion tie-breaker within an LBD band.
+    activity: f64,
 }
 
 /// The CDCL SAT solver.
@@ -112,20 +233,41 @@ pub struct SatSolver {
     /// never resolves on them, so learned clauses stay globally valid.
     assumptions: Vec<Lit>,
     ok: bool,
+    options: SatOptions,
+    /// Clause-activity increment (decayed geometrically per conflict).
+    cla_inc: f64,
+    /// Conflicts seen since the last `reduce_db` run.
+    conflicts_since_reduce: u64,
+    /// Conflict count that triggers the next `reduce_db` run.
+    reduce_limit: u64,
     /// Number of conflicts encountered (for statistics).
     pub conflicts: u64,
     /// Number of decisions made (for statistics).
     pub decisions: u64,
     /// Number of unit propagations performed (for statistics).
     pub propagations: u64,
+    /// Number of restarts performed (for statistics).
+    pub restarts: u64,
+    /// Learned clauses deleted by database reductions (for statistics).
+    pub learned_deleted: u64,
+    /// Largest literal-block distance of any learned clause (for statistics).
+    pub max_lbd: u32,
 }
 
 impl SatSolver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with the tuned default options.
     pub fn new() -> SatSolver {
+        SatSolver::with_options(SatOptions::default())
+    }
+
+    /// Creates an empty solver with explicit restart/clause-db options.
+    pub fn with_options(options: SatOptions) -> SatSolver {
         SatSolver {
             act_inc: 1.0,
+            cla_inc: 1.0,
             ok: true,
+            reduce_limit: options.clause_db.first_reduce,
+            options,
             ..Default::default()
         }
     }
@@ -220,18 +362,47 @@ impl SatSolver {
                 self.ok
             }
             _ => {
-                self.attach_clause(lits, false);
+                self.attach_clause(lits, false, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learned: bool) -> usize {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learned: bool, deletable: bool, lbd: u32) -> usize {
         let idx = self.clauses.len();
         self.watches[lits[0].negate().index()].push(idx);
         self.watches[lits[1].negate().index()].push(idx);
-        self.clauses.push(Clause { lits, learned });
+        self.clauses.push(Clause {
+            lits,
+            learned,
+            deletable,
+            deleted: false,
+            lbd,
+            activity: 0.0,
+        });
         idx
+    }
+
+    /// The number of distinct decision levels among a clause's literals — the
+    /// Glucose "literal block distance" quality measure (lower is better).
+    fn lbd_of(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var() as usize]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn bump_clause(&mut self, ci: usize) {
+        if !self.clauses[ci].deletable {
+            return;
+        }
+        self.clauses[ci].activity += self.cla_inc;
+        if self.clauses[ci].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
     }
 
     fn enqueue(&mut self, l: Lit, reason: Option<usize>) {
@@ -263,6 +434,11 @@ impl SatSolver {
             while wi < watch_list.len() {
                 let ci = watch_list[wi];
                 wi += 1;
+                if self.clauses[ci].deleted {
+                    // Lazy watch-list cleanup: dead indices are dropped the
+                    // first time propagation visits them.
+                    continue;
+                }
                 let watched_false = l.negate();
                 // Ensure the false literal is at position 1.
                 if self.clauses[ci].lits[0] == watched_false {
@@ -333,6 +509,7 @@ impl SatSolver {
         let cur_level = self.decision_level();
 
         loop {
+            self.bump_clause(clause_idx);
             let lits: Vec<Lit> = self.clauses[clause_idx].lits.clone();
             for &q in &lits {
                 // Skip the literal we are currently resolving on (it occurs in
@@ -494,7 +671,7 @@ impl SatSolver {
         // for completeness (it may matter after backtracking) and move on.
         if lits.iter().any(|&l| self.lit_value(l) == Value::True) {
             if lits.len() >= 2 {
-                self.attach_clause(lits, true);
+                self.attach_clause(lits, true, false, 0);
             }
             return true;
         }
@@ -543,7 +720,7 @@ impl SatSolver {
             }
             return true;
         }
-        let ci = self.attach_clause(lits.clone(), true);
+        let ci = self.attach_clause(lits.clone(), true, false, 0);
         if unassigned == 1 {
             // The clause is asserting: propagate its only unassigned literal.
             self.enqueue(lits[0], Some(ci));
@@ -553,12 +730,19 @@ impl SatSolver {
 
     /// The CDCL search loop over the current trail.
     fn search(&mut self, max_conflicts: u64) -> SatResult {
-        let mut restart_limit = 100u64;
+        // The restart schedule is local to one search call: a fresh `solve`
+        // (or theory-round continuation) starts at the schedule's beginning.
+        let mut restarts_here = 0u64;
+        let mut restart_limit = match self.options.restart {
+            RestartPolicy::Luby { unit } => unit.max(1) * luby(1),
+            RestartPolicy::Geometric { start } => start.max(1),
+        };
         let mut conflicts_here = 0u64;
         let mut conflicts_since_restart = 0u64;
         loop {
             if let Some(conf) = self.propagate() {
                 self.conflicts += 1;
+                self.conflicts_since_reduce += 1;
                 conflicts_here += 1;
                 conflicts_since_restart += 1;
                 if conflicts_here > max_conflicts {
@@ -571,16 +755,33 @@ impl SatSolver {
                 let (learned, bj) = self.analyze(conf);
                 self.backtrack(bj);
                 self.act_inc *= 1.05;
+                self.cla_inc *= 1.001;
                 if learned.len() == 1 {
                     self.enqueue(learned[0], None);
                 } else {
-                    let ci = self.attach_clause(learned.clone(), true);
+                    // LBD is computed after the backjump, when every literal
+                    // of the learned clause is assigned (the asserting
+                    // literal is about to be, at the backjump level).
+                    let lbd = self.lbd_of(&learned[1..]).saturating_add(1);
+                    self.max_lbd = self.max_lbd.max(lbd);
+                    let ci = self.attach_clause(learned.clone(), true, true, lbd);
+                    self.bump_clause(ci);
                     self.enqueue(learned[0], Some(ci));
                 }
                 if conflicts_since_restart > restart_limit {
                     conflicts_since_restart = 0;
-                    restart_limit = restart_limit + restart_limit / 2;
+                    restarts_here += 1;
+                    self.restarts += 1;
+                    restart_limit = match self.options.restart {
+                        RestartPolicy::Luby { unit } => unit.max(1) * luby(restarts_here + 1),
+                        RestartPolicy::Geometric { .. } => restart_limit + restart_limit / 2,
+                    };
                     self.backtrack(0);
+                    if self.options.clause_db.enabled
+                        && self.conflicts_since_reduce >= self.reduce_limit
+                    {
+                        self.reduce_db();
+                    }
                 }
             } else {
                 // Assumptions are (re-)decided before any free decision; a
@@ -619,14 +820,58 @@ impl SatSolver {
         }
     }
 
-    /// Number of clauses currently stored (original + learned).
-    pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+    /// Deletes the worst half of the deletable learned clauses: highest LBD
+    /// first, lowest activity as the tie-breaker. Glue clauses
+    /// (LBD ≤ [`ClauseDbOptions::glue_lbd`]), locked clauses (the reason of
+    /// an assigned literal), input clauses and theory conflict clauses are
+    /// kept — see the module documentation for why each class is safe or
+    /// necessary to keep.
+    fn reduce_db(&mut self) {
+        self.conflicts_since_reduce = 0;
+        self.reduce_limit = self
+            .reduce_limit
+            .saturating_add(self.options.clause_db.reduce_inc);
+        let locked: std::collections::HashSet<usize> = self
+            .trail
+            .iter()
+            .filter_map(|l| self.reason[l.var() as usize])
+            .collect();
+        let glue = self.options.clause_db.glue_lbd;
+        let mut cands: Vec<usize> = (0..self.clauses.len())
+            .filter(|&ci| {
+                let c = &self.clauses[ci];
+                c.deletable && !c.deleted && c.lbd > glue && !locked.contains(&ci)
+            })
+            .collect();
+        // Worst first: high LBD, then low activity (ties by index for
+        // determinism — f64 activities of distinct clauses rarely tie, but
+        // the sort must be total either way).
+        cands.sort_unstable_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.total_cmp(&cb.activity))
+                .then(a.cmp(&b))
+        });
+        for &ci in &cands[..cands.len() / 2] {
+            let c = &mut self.clauses[ci];
+            c.deleted = true;
+            c.lits = Vec::new();
+            self.learned_deleted += 1;
+        }
     }
 
-    /// Number of learned clauses currently stored.
+    /// Number of live clauses currently stored (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Number of live learned clauses currently stored.
     pub fn num_learned(&self) -> usize {
-        self.clauses.iter().filter(|c| c.learned).count()
+        self.clauses
+            .iter()
+            .filter(|c| c.learned && !c.deleted)
+            .count()
     }
 }
 

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use crate::fxmap::FxHashMap;
 use crate::rational::{DeltaRat, Rat};
 
 /// A linear expression: a constant plus a sum of `coeff * variable` terms.
@@ -94,6 +95,40 @@ pub enum ArithOutcome {
 
 const NO_TAG: usize = usize::MAX;
 
+/// How the simplex picks its pivots.
+///
+/// Verdicts (and the *existence* of a conflict) are identical under every
+/// rule; only the pivot count — and which of several valid conflict
+/// explanations is returned — may differ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PivotRule {
+    /// Bland's rule: smallest-index violated basic variable, first eligible
+    /// entering variable. Never cycles, but blind to progress — the legacy
+    /// behaviour and the default for a bare [`Simplex`].
+    #[default]
+    Bland,
+    /// Largest-violation leaving variable + largest-coefficient (Dantzig
+    /// style) entering variable for the first `bland_after` pivots of the
+    /// instance, then permanent fallback to Bland's rule. The fallback bounds
+    /// the heuristic phase, so termination is inherited from Bland.
+    Hybrid {
+        /// Pivot count after which the instance switches to Bland's rule.
+        bland_after: u64,
+    },
+}
+
+impl PivotRule {
+    /// The default heuristic phase length of the tuned profile.
+    pub const DEFAULT_BLAND_AFTER: u64 = 512;
+
+    /// The tuned hybrid rule with the default fallback threshold.
+    pub fn hybrid() -> PivotRule {
+        PivotRule::Hybrid {
+            bland_after: PivotRule::DEFAULT_BLAND_AFTER,
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Bound {
     value: DeltaRat,
@@ -110,18 +145,36 @@ pub struct Simplex {
     num_vars: usize,
     is_int: Vec<bool>,
     // Tableau: basic variable index -> row (coeffs over nonbasic variables).
-    rows: HashMap<usize, HashMap<usize, Rat>>,
+    rows: FxHashMap<usize, FxHashMap<usize, Rat>>,
     lower: Vec<Option<Bound>>,
     upper: Vec<Option<Bound>>,
     assignment: Vec<DeltaRat>,
+    rule: PivotRule,
     /// Pivot-count statistic.
     pub pivots: u64,
 }
 
 impl Simplex {
-    /// Creates a solver with no variables.
+    /// Creates a solver with no variables, using Bland's pivot rule.
     pub fn new() -> Simplex {
         Simplex::default()
+    }
+
+    /// Creates a solver with an explicit pivot rule.
+    pub fn with_rule(rule: PivotRule) -> Simplex {
+        Simplex {
+            rule,
+            ..Simplex::default()
+        }
+    }
+
+    /// True if a [`PivotRule::Hybrid`] instance has exhausted its heuristic
+    /// phase and switched to Bland's rule.
+    pub fn in_bland_fallback(&self) -> bool {
+        match self.rule {
+            PivotRule::Bland => false,
+            PivotRule::Hybrid { bland_after } => self.pivots >= bland_after,
+        }
     }
 
     /// Adds a variable; `is_int` marks it integer-sorted. Returns its index.
@@ -181,7 +234,7 @@ impl Simplex {
             None => {
                 // Introduce a slack variable s = linear part.
                 let s = self.new_var(false);
-                let mut row = HashMap::new();
+                let mut row = FxHashMap::default();
                 for (&v, &c) in &expr.terms {
                     row.insert(v, c);
                 }
@@ -210,8 +263,8 @@ impl Simplex {
         Ok(())
     }
 
-    fn substitute_basics(&self, row: HashMap<usize, Rat>) -> HashMap<usize, Rat> {
-        let mut out: HashMap<usize, Rat> = HashMap::new();
+    fn substitute_basics(&self, row: FxHashMap<usize, Rat>) -> FxHashMap<usize, Rat> {
+        let mut out: FxHashMap<usize, Rat> = FxHashMap::default();
         for (v, c) in row {
             if let Some(basic_row) = self.rows.get(&v) {
                 for (&w, &cw) in basic_row {
@@ -227,7 +280,7 @@ impl Simplex {
         out
     }
 
-    fn row_value(&self, row: &HashMap<usize, Rat>) -> DeltaRat {
+    fn row_value(&self, row: &FxHashMap<usize, Rat>) -> DeltaRat {
         let mut val = DeltaRat::ZERO;
         for (&v, &c) in row {
             val = val + self.assignment[v].scale(c);
@@ -284,23 +337,61 @@ impl Simplex {
         }
     }
 
-    fn violated_basic(&self) -> Option<(usize, bool)> {
-        // Bland's rule: smallest index first. Returns (var, is_below_lower).
-        let mut basics: Vec<usize> = self.rows.keys().copied().collect();
-        basics.sort_unstable();
-        for b in basics {
-            if let Some(l) = &self.lower[b] {
-                if self.assignment[b] < l.value {
-                    return Some((b, true));
+    /// Picks the violated basic variable to fix next: smallest index under
+    /// Bland's rule, largest violation (ties to the smallest index) in the
+    /// hybrid heuristic phase. Returns `(var, is_below_lower)`.
+    /// The heuristic scan needs a *ranking*, not exact arithmetic: violation
+    /// magnitudes are compared as lossy `f64` approximations (exact
+    /// delta-rational subtraction would gcd-normalize on every candidate),
+    /// with the smallest index breaking ties so the choice stays
+    /// deterministic regardless of hash-map iteration order. A wrong ranking
+    /// can only cost extra pivots, never correctness.
+    fn violated_basic(&self, heuristic: bool) -> Option<(usize, bool)> {
+        if !heuristic {
+            // Bland: smallest violated index (the index order is what
+            // guarantees cycle-freedom, so keep the sort).
+            let mut basics: Vec<usize> = self.rows.keys().copied().collect();
+            basics.sort_unstable();
+            for b in basics {
+                if let Some(l) = &self.lower[b] {
+                    if self.assignment[b] < l.value {
+                        return Some((b, true));
+                    }
+                }
+                if let Some(u) = &self.upper[b] {
+                    if self.assignment[b] > u.value {
+                        return Some((b, false));
+                    }
                 }
             }
-            if let Some(u) = &self.upper[b] {
-                if self.assignment[b] > u.value {
-                    return Some((b, false));
-                }
+            return None;
+        }
+        let approx = |v: DeltaRat| -> f64 { v.real.to_f64() + 1e-9 * v.delta.to_f64() };
+        let mut best: Option<(usize, bool, f64)> = None;
+        for &b in self.rows.keys() {
+            let violation = if let Some(l) = self.lower[b]
+                .as_ref()
+                .filter(|l| self.assignment[b] < l.value)
+            {
+                Some((true, approx(l.value) - approx(self.assignment[b])))
+            } else {
+                self.upper[b]
+                    .as_ref()
+                    .filter(|u| self.assignment[b] > u.value)
+                    .map(|u| (false, approx(self.assignment[b]) - approx(u.value)))
+            };
+            let Some((below, amount)) = violation else {
+                continue;
+            };
+            let better = match best {
+                None => true,
+                Some((bb, _, ba)) => amount > ba || (amount == ba && b < bb),
+            };
+            if better {
+                best = Some((b, below, amount));
             }
         }
-        None
+        best.map(|(b, below, _)| (b, below))
     }
 
     fn pivot_and_update(&mut self, xi: usize, xj: usize, v: DeltaRat) {
@@ -325,7 +416,7 @@ impl Simplex {
         let row = self.rows.remove(&xi).expect("pivot on basic var");
         let aij = row[&xj];
         // Solve for xj: xj = (1/aij) xi - sum_{k != j} (a_k/aij) x_k
-        let mut new_row: HashMap<usize, Rat> = HashMap::new();
+        let mut new_row: FxHashMap<usize, Rat> = FxHashMap::default();
         new_row.insert(xi, aij.recip());
         for (&k, &a) in &row {
             if k != xj {
@@ -361,7 +452,14 @@ impl Simplex {
 
     fn check_rational(&mut self) -> ArithOutcome {
         loop {
-            let (xi, below) = match self.violated_basic() {
+            // Heuristic pivoting runs only while the hybrid rule's budget
+            // lasts; afterwards every choice follows Bland's rule, which
+            // cannot cycle, so the loop terminates under either rule.
+            let heuristic = match self.rule {
+                PivotRule::Bland => false,
+                PivotRule::Hybrid { bland_after } => self.pivots < bland_after,
+            };
+            let (xi, below) = match self.violated_basic(heuristic) {
                 None => return ArithOutcome::Sat(self.assignment.clone()),
                 Some(v) => v,
             };
@@ -371,78 +469,68 @@ impl Simplex {
                 r.sort_unstable_by_key(|&(k, _)| k);
                 r
             };
-            if below {
-                let target = self.lower[xi].as_ref().unwrap().value;
-                // Need to increase xi.
-                let mut pivot_var = None;
-                for &(xj, a) in &row {
-                    let can = if a.is_positive() {
-                        self.upper[xj]
-                            .as_ref()
-                            .is_none_or(|u| self.assignment[xj] < u.value)
-                    } else {
-                        self.lower[xj]
-                            .as_ref()
-                            .is_none_or(|l| self.assignment[xj] > l.value)
-                    };
-                    if can {
-                        pivot_var = Some(xj);
-                        break;
-                    }
-                }
-                match pivot_var {
-                    Some(xj) => self.pivot_and_update(xi, xj, target),
-                    None => {
-                        // Conflict: lower bound of xi plus the blocking bounds.
-                        let mut tags = vec![self.lower[xi].as_ref().unwrap().tag];
-                        for &(xj, a) in &row {
-                            if a.is_positive() {
-                                tags.push(self.upper[xj].as_ref().unwrap().tag);
-                            } else {
-                                tags.push(self.lower[xj].as_ref().unwrap().tag);
-                            }
-                        }
-                        tags.retain(|&t| t != NO_TAG);
-                        tags.sort_unstable();
-                        tags.dedup();
-                        return ArithOutcome::Conflict(tags);
-                    }
-                }
+            let target = if below {
+                self.lower[xi].as_ref().unwrap().value
             } else {
-                let target = self.upper[xi].as_ref().unwrap().value;
-                // Need to decrease xi.
-                let mut pivot_var = None;
-                for &(xj, a) in &row {
-                    let can = if a.is_positive() {
-                        self.lower[xj]
-                            .as_ref()
-                            .is_none_or(|l| self.assignment[xj] > l.value)
-                    } else {
-                        self.upper[xj]
-                            .as_ref()
-                            .is_none_or(|u| self.assignment[xj] < u.value)
-                    };
-                    if can {
-                        pivot_var = Some(xj);
-                        break;
-                    }
+                self.upper[xi].as_ref().unwrap().value
+            };
+            // `xi` must move towards `target`; a nonbasic `xj` with
+            // coefficient `a` can absorb that move iff it has slack in the
+            // required direction.
+            let needs_increase = |a: Rat| -> bool {
+                if below {
+                    a.is_positive()
+                } else {
+                    a.is_negative()
                 }
-                match pivot_var {
-                    Some(xj) => self.pivot_and_update(xi, xj, target),
-                    None => {
-                        let mut tags = vec![self.upper[xi].as_ref().unwrap().tag];
-                        for &(xj, a) in &row {
-                            if a.is_positive() {
-                                tags.push(self.lower[xj].as_ref().unwrap().tag);
-                            } else {
-                                tags.push(self.upper[xj].as_ref().unwrap().tag);
-                            }
+            };
+            let mut pivot_var: Option<(usize, Rat)> = None;
+            for &(xj, a) in &row {
+                let can = if needs_increase(a) {
+                    self.upper[xj]
+                        .as_ref()
+                        .is_none_or(|u| self.assignment[xj] < u.value)
+                } else {
+                    self.lower[xj]
+                        .as_ref()
+                        .is_none_or(|l| self.assignment[xj] > l.value)
+                };
+                if !can {
+                    continue;
+                }
+                if !heuristic {
+                    // Bland: first eligible index (the row is index-sorted).
+                    pivot_var = Some((xj, a));
+                    break;
+                }
+                // Dantzig style: largest |coefficient| moves the violated
+                // variable furthest per unit of xj (ties to smallest index).
+                if pivot_var.is_none_or(|(_, best)| a.abs() > best.abs()) {
+                    pivot_var = Some((xj, a));
+                }
+            }
+            match pivot_var {
+                Some((xj, _)) => self.pivot_and_update(xi, xj, target),
+                None => {
+                    // Conflict: the violated bound of xi plus, per column,
+                    // the bound that blocks the required movement.
+                    let own = if below {
+                        self.lower[xi].as_ref().unwrap().tag
+                    } else {
+                        self.upper[xi].as_ref().unwrap().tag
+                    };
+                    let mut tags = vec![own];
+                    for &(xj, a) in &row {
+                        if needs_increase(a) {
+                            tags.push(self.upper[xj].as_ref().unwrap().tag);
+                        } else {
+                            tags.push(self.lower[xj].as_ref().unwrap().tag);
                         }
-                        tags.retain(|&t| t != NO_TAG);
-                        tags.sort_unstable();
-                        tags.dedup();
-                        return ArithOutcome::Conflict(tags);
                     }
+                    tags.retain(|&t| t != NO_TAG);
+                    tags.sort_unstable();
+                    tags.dedup();
+                    return ArithOutcome::Conflict(tags);
                 }
             }
         }
@@ -482,39 +570,30 @@ impl Simplex {
         // branch first — this avoids chasing unbounded descents when the
         // fractional value keeps shifting between variables.
         let up_first = val.delta.is_positive();
-        let run_up = |this: &Simplex| -> ArithOutcome {
+        // Branches run on a clone; the clone's pivot count (which started at
+        // the parent's) is folded back so `pivots` reports the whole tree.
+        let run_branch = |this: &mut Simplex, up: bool| -> ArithOutcome {
             let mut s = this.clone();
-            match s.assert_lower(v, DeltaRat::from_rat(Rat::from_int(fl + 1)), NO_TAG) {
+            let asserted = if up {
+                s.assert_lower(v, DeltaRat::from_rat(Rat::from_int(fl + 1)), NO_TAG)
+            } else {
+                s.assert_upper(v, DeltaRat::from_rat(Rat::from_int(fl)), NO_TAG)
+            };
+            let out = match asserted {
                 Err(mut tags) => {
                     tags.retain(|&t| t != NO_TAG);
                     ArithOutcome::Conflict(tags)
                 }
                 Ok(()) => s.branch_and_bound(depth + 1),
-            }
+            };
+            this.pivots = s.pivots;
+            out
         };
-        let run_down = |this: &Simplex| -> ArithOutcome {
-            let mut s = this.clone();
-            match s.assert_upper(v, DeltaRat::from_rat(Rat::from_int(fl)), NO_TAG) {
-                Err(mut tags) => {
-                    tags.retain(|&t| t != NO_TAG);
-                    ArithOutcome::Conflict(tags)
-                }
-                Ok(()) => s.branch_and_bound(depth + 1),
-            }
-        };
-        let first_out = if up_first {
-            run_up(self)
-        } else {
-            run_down(self)
-        };
+        let first_out = run_branch(self, up_first);
         if let ArithOutcome::Sat(a) = first_out {
             return ArithOutcome::Sat(a);
         }
-        let second_out = if up_first {
-            run_down(self)
-        } else {
-            run_up(self)
-        };
+        let second_out = run_branch(self, !up_first);
         let (left_out, right_out) = (first_out, second_out);
         match (left_out, right_out) {
             (ArithOutcome::Unknown, _) | (_, ArithOutcome::Unknown) => ArithOutcome::Unknown,

@@ -12,9 +12,45 @@ use crate::cnf::{tseitin, AtomMap};
 use crate::lower::lower;
 use crate::model::Model;
 use crate::quant::{contains_forall, eliminate_quantifiers, QuantConfig};
-use crate::sat::{SatResult, SatSolver};
+use crate::sat::{SatOptions, SatResult, SatSolver};
+use crate::simplex::PivotRule;
 use crate::term::{TermId, TermManager};
 use crate::theory::{TheoryCheck, TheoryChecker};
+
+/// A named bundle of search-heuristic settings (restart policy, clause
+/// database management, simplex pivot rule).
+///
+/// Verdicts are identical under every profile — the profiles differ only in
+/// how fast they get there (and in the telemetry they produce). `legacy` is
+/// the pre-tuning behaviour, kept selectable for benchmarking and as a
+/// differential-testing oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SolverProfile {
+    /// Luby restarts, LBD-based clause deletion, hybrid simplex pivoting.
+    #[default]
+    Default,
+    /// Geometric restarts, no clause deletion, Bland pivoting.
+    Legacy,
+}
+
+impl SolverProfile {
+    /// Parses a CLI value (`default` / `legacy`).
+    pub fn parse(s: &str) -> Option<SolverProfile> {
+        match s {
+            "default" => Some(SolverProfile::Default),
+            "legacy" => Some(SolverProfile::Legacy),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this profile.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SolverProfile::Default => "default",
+            SolverProfile::Legacy => "legacy",
+        }
+    }
+}
 
 /// Tuning knobs of the solver.
 #[derive(Clone, Copy, Debug)]
@@ -30,6 +66,10 @@ pub struct SolverConfig {
     /// rounds instead of being restarted from scratch after every theory
     /// conflict clause. The `ablation_bench` bench compares both modes.
     pub incremental_sat: bool,
+    /// SAT-core options: restart policy and learned-clause database.
+    pub sat: SatOptions,
+    /// Simplex pivot rule used by the theory checker.
+    pub pivot: PivotRule,
 }
 
 impl Default for SolverConfig {
@@ -39,6 +79,8 @@ impl Default for SolverConfig {
             allow_quantifiers: false,
             quant: QuantConfig::default(),
             incremental_sat: true,
+            sat: SatOptions::default(),
+            pivot: PivotRule::hybrid(),
         }
     }
 }
@@ -49,6 +91,18 @@ impl SolverConfig {
         SolverConfig {
             allow_quantifiers: true,
             ..SolverConfig::default()
+        }
+    }
+
+    /// The configuration of a named heuristics profile.
+    pub fn with_profile(profile: SolverProfile) -> SolverConfig {
+        match profile {
+            SolverProfile::Default => SolverConfig::default(),
+            SolverProfile::Legacy => SolverConfig {
+                sat: SatOptions::legacy(),
+                pivot: PivotRule::Bland,
+                ..SolverConfig::default()
+            },
         }
     }
 }
@@ -80,11 +134,26 @@ pub struct SolverStats {
     /// Assertions lowered and clause-converted fresh. Always 0 for the batch
     /// solver (which does not count per-assertion reuse).
     pub prelude_lowered: u64,
+    /// SAT-core restarts.
+    pub restarts: u64,
+    /// Live learned clauses at the end of the check (after any deletions).
+    /// A point-in-time gauge, not a counter: merging takes the maximum.
+    pub learned_kept: u64,
+    /// Learned clauses deleted by clause-database reductions.
+    pub learned_deleted: u64,
+    /// Largest literal-block distance of any clause learned during the check.
+    pub max_lbd: u64,
+    /// Simplex pivots performed across all theory rounds.
+    pub pivots: u64,
 }
 
 impl SolverStats {
     /// Accumulates another stats record into this one (used to aggregate the
     /// statistics of the many solver calls discharging one method's VCs).
+    /// Counters are summed; `max_lbd` and `learned_kept` — point-in-time
+    /// gauges, not counts — take the maximum (summing `learned_kept` across
+    /// the checks of one warm session would double-count the same live
+    /// clauses once per check).
     pub fn merge(&mut self, other: &SolverStats) {
         self.theory_rounds += other.theory_rounds;
         self.sat_conflicts += other.sat_conflicts;
@@ -96,6 +165,11 @@ impl SolverStats {
         self.theory_time += other.theory_time;
         self.prelude_reused += other.prelude_reused;
         self.prelude_lowered += other.prelude_lowered;
+        self.restarts += other.restarts;
+        self.learned_kept = self.learned_kept.max(other.learned_kept);
+        self.learned_deleted += other.learned_deleted;
+        self.max_lbd = self.max_lbd.max(other.max_lbd);
+        self.pivots += other.pivots;
     }
 }
 
@@ -172,7 +246,7 @@ impl Solver {
 
         let roots = lower(tm, &assertions);
 
-        let mut sat = SatSolver::new();
+        let mut sat = SatSolver::with_options(self.config.sat);
         let atom_map: AtomMap = tseitin(tm, &roots, &mut sat);
         self.stats.initial_clauses = sat.num_clauses() as u64;
         self.stats.atoms = atom_map.atom_of_var.len() as u64;
@@ -207,8 +281,9 @@ impl Solver {
             }
             let literals = atom_map.model_literals(&sat);
             let theory_start = std::time::Instant::now();
-            let theory_result = checker.check(tm, &literals);
+            let (theory_result, pivots) = checker.check_with(tm, &literals, self.config.pivot);
             self.stats.theory_time += theory_start.elapsed();
+            self.stats.pivots += pivots;
             match theory_result {
                 TheoryCheck::Consistent => {
                     self.snapshot_sat(&sat);
@@ -273,6 +348,10 @@ impl Solver {
         self.stats.sat_conflicts = sat.conflicts;
         self.stats.sat_decisions = sat.decisions;
         self.stats.sat_propagations = sat.propagations;
+        self.stats.restarts = sat.restarts;
+        self.stats.learned_kept = sat.num_learned() as u64;
+        self.stats.learned_deleted = sat.learned_deleted;
+        self.stats.max_lbd = sat.max_lbd as u64;
     }
 
     /// Convenience wrapper: checks whether `formula` is valid (its negation is
@@ -340,6 +419,118 @@ mod tests {
         acc.merge(&stats);
         assert_eq!(acc.sat_propagations, 2 * stats.sat_propagations);
         assert_eq!(acc.theory_rounds, 2 * stats.theory_rounds);
+    }
+
+    #[test]
+    fn heuristic_telemetry_is_populated_and_merges() {
+        use crate::sat::{ClauseDbOptions, RestartPolicy, SatOptions};
+
+        // A conflict-heavy propositional core (pigeonhole 5→4 over Bool
+        // vars) plus an arithmetic refutation, under restart/deletion knobs
+        // aggressive enough to fire on a test-sized query.
+        let mut tm = TermManager::new();
+        let p: Vec<Vec<TermId>> = (0..5)
+            .map(|i| {
+                (0..4)
+                    .map(|j| tm.var(&format!("p{}_{}", i, j), Sort::Bool))
+                    .collect()
+            })
+            .collect();
+        let mut assertions = Vec::new();
+        for row in &p {
+            assertions.push(tm.or(row.clone()));
+        }
+        for j in 0..p[0].len() {
+            for i in 0..p.len() {
+                for k in (i + 1)..p.len() {
+                    let (a, b) = (p[i][j], p[k][j]);
+                    let na = tm.not(a);
+                    let nb = tm.not(b);
+                    assertions.push(tm.or2(na, nb));
+                }
+            }
+        }
+        // Arithmetic that needs simplex pivots: a chain with a contradiction.
+        let xs: Vec<TermId> = (0..4)
+            .map(|i| tm.var(&format!("x{}", i), Sort::Int))
+            .collect();
+        for w in xs.windows(2) {
+            assertions.push(tm.le(w[0], w[1]));
+        }
+        let one = tm.int(1);
+        let last_plus = tm.add(xs[3], one);
+        assertions.push(tm.le(last_plus, xs[0]));
+
+        let config = SolverConfig {
+            sat: SatOptions {
+                restart: RestartPolicy::Luby { unit: 1 },
+                clause_db: ClauseDbOptions {
+                    enabled: true,
+                    first_reduce: 1,
+                    reduce_inc: 0,
+                    glue_lbd: 1,
+                },
+            },
+            ..SolverConfig::default()
+        };
+        let mut s = Solver::with_config(config);
+        assert_eq!(s.check(&mut tm, &assertions), SatResult::Unsat);
+        let stats = s.stats();
+        assert!(stats.restarts > 0, "{:?}", stats);
+        assert!(stats.learned_deleted > 0, "{:?}", stats);
+        assert!(stats.max_lbd > 0, "{:?}", stats);
+
+        // Pivots need the arithmetic chain to actually reach the simplex: a
+        // pure-arithmetic query pins that counter deterministically.
+        let arith: Vec<TermId> = assertions[assertions.len() - 4..].to_vec();
+        let mut s2 = Solver::new();
+        assert_eq!(s2.check(&mut tm, &arith), SatResult::Unsat);
+        assert!(s2.stats().pivots > 0, "{:?}", s2.stats());
+
+        // merge(): counters sum, max_lbd takes the maximum.
+        let mut acc = SolverStats {
+            max_lbd: 1,
+            ..SolverStats::default()
+        };
+        acc.merge(&stats);
+        acc.merge(&s2.stats());
+        assert_eq!(acc.restarts, stats.restarts + s2.stats().restarts);
+        assert_eq!(
+            acc.learned_deleted,
+            stats.learned_deleted + s2.stats().learned_deleted
+        );
+        assert_eq!(
+            acc.learned_kept,
+            stats.learned_kept.max(s2.stats().learned_kept),
+            "learned_kept is a gauge: merge takes the max"
+        );
+        assert_eq!(acc.pivots, stats.pivots + s2.stats().pivots);
+        assert_eq!(acc.max_lbd, stats.max_lbd.max(s2.stats().max_lbd).max(1));
+    }
+
+    #[test]
+    fn legacy_profile_matches_default_verdicts() {
+        // The two shipped profiles must agree on every verdict; spot-check
+        // the module's own test queries under the legacy profile.
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Loc);
+        let y = tm.var("y", Sort::Loc);
+        let fx = tm.app("f", vec![x], Sort::Int);
+        let fy = tm.app("f", vec![y], Sort::Int);
+        let eq_xy = tm.eq(x, y);
+        let ne_fg = tm.neq(fx, fy);
+        for profile in [SolverProfile::Default, SolverProfile::Legacy] {
+            let mut s = Solver::with_config(SolverConfig::with_profile(profile));
+            assert_eq!(s.check(&mut tm, &[eq_xy, ne_fg]), SatResult::Unsat);
+            assert_eq!(s.check(&mut tm, &[eq_xy]), SatResult::Sat);
+        }
+        assert_eq!(SolverProfile::parse("legacy"), Some(SolverProfile::Legacy));
+        assert_eq!(
+            SolverProfile::parse("default"),
+            Some(SolverProfile::Default)
+        );
+        assert_eq!(SolverProfile::parse("bogus"), None);
+        assert_eq!(SolverProfile::Legacy.as_str(), "legacy");
     }
 
     #[test]

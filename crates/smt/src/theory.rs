@@ -18,11 +18,10 @@
 //! template, linearized arithmetic forms) is precomputed once per solver call
 //! in a [`TheoryChecker`] and reused across rounds.
 
-use std::collections::HashMap;
-
 use crate::euf::{Euf, EufOutcome, EufTemplate};
+use crate::fxmap::FxHashMap;
 use crate::rational::Rat;
-use crate::simplex::{ArithOutcome, LinExpr, Rel, Simplex};
+use crate::simplex::{ArithOutcome, LinExpr, PivotRule, Rel, Simplex};
 use crate::term::{Op, Sort, TermId, TermManager};
 
 /// Result of a theory consistency check over asserted literals.
@@ -84,9 +83,9 @@ enum AtomKind {
 #[derive(Clone, Debug)]
 pub struct TheoryChecker {
     template: EufTemplate,
-    kinds: HashMap<TermId, AtomKind>,
+    kinds: FxHashMap<TermId, AtomKind>,
     /// Whether each numeric leaf term is integer-sorted.
-    leaf_is_int: HashMap<TermId, bool>,
+    leaf_is_int: FxHashMap<TermId, bool>,
     /// The Boolean constants, used to constrain predicate atoms.
     tru: TermId,
     fls: TermId,
@@ -100,8 +99,8 @@ impl TheoryChecker {
         let fls = tm.fls();
         let mut checker = TheoryChecker {
             template: EufTemplate::new(tm, &[tru, fls]),
-            kinds: HashMap::with_capacity(atoms.len()),
-            leaf_is_int: HashMap::new(),
+            kinds: FxHashMap::default(),
+            leaf_is_int: FxHashMap::default(),
             tru,
             fls,
         };
@@ -152,8 +151,20 @@ impl TheoryChecker {
     }
 
     /// Checks the conjunction of `literals` (atom term, polarity) for
-    /// consistency in EUF + linear arithmetic.
+    /// consistency in EUF + linear arithmetic, using Bland's pivot rule.
     pub fn check(&self, tm: &TermManager, literals: &[(TermId, bool)]) -> TheoryCheck {
+        self.check_with(tm, literals, PivotRule::Bland).0
+    }
+
+    /// Like [`TheoryChecker::check`], but with an explicit simplex pivot rule
+    /// and returning the number of simplex pivots performed (the `pivots`
+    /// telemetry of [`crate::SolverStats`]).
+    pub fn check_with(
+        &self,
+        tm: &TermManager,
+        literals: &[(TermId, bool)],
+        pivot: PivotRule,
+    ) -> (TheoryCheck, u64) {
         let (tru, fls) = (self.tru, self.fls);
 
         // ------------------------------------------------------------- EUF pass
@@ -222,18 +233,18 @@ impl TheoryChecker {
 
         match euf.check() {
             EufOutcome::Conflict(tags) => {
-                return TheoryCheck::Conflict(clean_tags(tags));
+                return (TheoryCheck::Conflict(clean_tags(tags)), 0);
             }
             EufOutcome::Consistent => {}
         }
 
         // ------------------------------------------------------ arithmetic pass
         if arith_lits.is_empty() {
-            return TheoryCheck::Consistent;
+            return (TheoryCheck::Consistent, 0);
         }
 
-        let mut simplex = Simplex::new();
-        let mut var_of_term: HashMap<TermId, usize> = HashMap::new();
+        let mut simplex = Simplex::with_rule(pivot);
+        let mut var_of_term: FxHashMap<TermId, usize> = FxHashMap::default();
         // Tags >= DERIVED_BASE refer to EUF-derived equalities; their explanation
         // replaces them in conflicts.
         let derived_base = literals.len() + 10;
@@ -278,12 +289,12 @@ impl TheoryChecker {
             }
         }
         if let Some(tags) = load_error {
-            return conflict_from(tags, &derived_explanations);
+            return (conflict_from(tags, &derived_explanations), simplex.pivots);
         }
 
         // Propagate EUF-derived equalities between numeric atom terms.
         let atom_terms: Vec<TermId> = var_of_term.keys().copied().collect();
-        let mut by_class: HashMap<usize, Vec<TermId>> = HashMap::new();
+        let mut by_class: FxHashMap<usize, Vec<TermId>> = FxHashMap::default();
         for &t in &atom_terms {
             if let Some(c) = euf.class_index(t) {
                 by_class.entry(c).or_default().push(t);
@@ -301,16 +312,17 @@ impl TheoryChecker {
                 let mut expr = LinExpr::variable(var_of_term[&a]);
                 expr.add_term(-Rat::ONE, var_of_term[&b]);
                 if let Err(tags) = simplex.add_constraint(&expr, Rel::Eq, derived_tag) {
-                    return conflict_from(tags, &derived_explanations);
+                    return (conflict_from(tags, &derived_explanations), simplex.pivots);
                 }
             }
         }
 
-        match simplex.check() {
+        let outcome = match simplex.check() {
             ArithOutcome::Sat(_) => TheoryCheck::Consistent,
             ArithOutcome::Conflict(tags) => conflict_from(tags, &derived_explanations),
             ArithOutcome::Unknown => TheoryCheck::Unknown,
-        }
+        };
+        (outcome, simplex.pivots)
     }
 }
 
@@ -338,7 +350,7 @@ fn difference_form(
     tm: &TermManager,
     a: TermId,
     b: TermId,
-    leaf_is_int: &mut HashMap<TermId, bool>,
+    leaf_is_int: &mut FxHashMap<TermId, bool>,
 ) -> LinForm {
     let mut form = LinForm::default();
     accumulate(tm, a, Rat::ONE, &mut form, leaf_is_int);
@@ -364,7 +376,7 @@ fn accumulate(
     t: TermId,
     scale: Rat,
     form: &mut LinForm,
-    leaf_is_int: &mut HashMap<TermId, bool>,
+    leaf_is_int: &mut FxHashMap<TermId, bool>,
 ) {
     let term = tm.term(t);
     match &term.op {

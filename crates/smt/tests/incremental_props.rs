@@ -4,8 +4,36 @@
 //! batch solver run on the equivalent one-shot query — after any number of
 //! earlier checks and retractions have warmed the session's state.
 
-use ids_smt::{IncrementalSolver, Solver, Sort, TermId, TermManager};
+use ids_smt::sat::{ClauseDbOptions, RestartPolicy, SatOptions};
+use ids_smt::{
+    IncrementalSolver, PivotRule, Solver, SolverConfig, SolverProfile, Sort, TermId, TermManager,
+};
 use proptest::prelude::*;
+
+/// The solver configurations the session properties cycle through: both
+/// shipped profiles, plus the tuned profile with the deletion/restart knobs
+/// turned aggressive so that clause-database reductions fire on test-sized
+/// instances (deletion inside scopes and method scopes must never change a
+/// verdict or survive a rollback).
+fn session_config(seed: u64) -> SolverConfig {
+    match seed % 3 {
+        0 => SolverConfig::with_profile(SolverProfile::Default),
+        1 => SolverConfig::with_profile(SolverProfile::Legacy),
+        _ => SolverConfig {
+            sat: SatOptions {
+                restart: RestartPolicy::Luby { unit: 1 },
+                clause_db: ClauseDbOptions {
+                    enabled: true,
+                    first_reduce: 1,
+                    reduce_inc: 0,
+                    glue_lbd: 1,
+                },
+            },
+            pivot: PivotRule::Hybrid { bland_after: 2 },
+            ..SolverConfig::default()
+        },
+    }
+}
 
 /// Deterministic xorshift so the tests are reproducible without an external
 /// rand crate (same idiom as the SAT core's random tests).
@@ -115,7 +143,7 @@ proptest! {
         let mut rng = XorShift::new(seed);
         let mut tm = TermManager::new();
         let universe = Universe::new(&mut tm);
-        let mut session = IncrementalSolver::new();
+        let mut session = IncrementalSolver::with_config(session_config(seed));
         let mut permanent: Vec<TermId> = Vec::new();
 
         let steps = 2 + rng.below(4);
@@ -165,7 +193,7 @@ proptest! {
         let mut rng = XorShift::new(seed);
         let mut tm = TermManager::new();
         let universe = Universe::new(&mut tm);
-        let mut pool = IncrementalSolver::new();
+        let mut pool = IncrementalSolver::with_config(session_config(seed));
         let mut prelude: Vec<TermId> = Vec::new();
         for _ in 0..(1 + rng.below(3)) {
             let h = random_formula(&mut rng, &mut tm, &universe, 1);
@@ -214,7 +242,7 @@ proptest! {
         let mut rng = XorShift::new(seed);
         let mut tm = TermManager::new();
         let universe = Universe::new(&mut tm);
-        let mut session = IncrementalSolver::new();
+        let mut session = IncrementalSolver::with_config(session_config(seed));
         let mut hyps: Vec<TermId> = Vec::new();
         for _ in 0..(1 + rng.below(3)) {
             let h = random_formula(&mut rng, &mut tm, &universe, 1);

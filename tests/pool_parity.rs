@@ -11,6 +11,7 @@
 
 use intrinsic_verify::core::IntrinsicDefinition;
 use intrinsic_verify::driver::{verify_selections, DriverConfig, PoolMode, Selection};
+use intrinsic_verify::smt::SolverProfile;
 use proptest::prelude::*;
 
 fn list_ids() -> IntrinsicDefinition {
@@ -98,7 +99,13 @@ proptest! {
         mask in 1usize..16,
         reverse in 0usize..2,
         jobs in 1usize..3,
+        profile_idx in 0usize..2,
     ) {
+        let profile = if profile_idx == 0 {
+            SolverProfile::Default
+        } else {
+            SolverProfile::Legacy
+        };
         let mut methods: Vec<String> = METHOD_NAMES
             .iter()
             .enumerate()
@@ -122,6 +129,7 @@ proptest! {
                     jobs,
                     pool_mode: mode,
                     cache_path: None,
+                    solver_profile: profile,
                     ..DriverConfig::default()
                 },
             )
@@ -180,5 +188,83 @@ proptest! {
                 prop_assert_eq!(structure.stats.cache_hits, other.stats.cache_hits);
             }
         }
+    }
+}
+
+/// Cross-profile parity: `--solver-profile default` and `legacy` must
+/// produce byte-identical reports (outcome kind, failing-VC description,
+/// VC/cache/query counts) in every pool mode, and byte-identical VC cache
+/// keys — a profile change must never invalidate or split the cache.
+#[test]
+fn solver_profiles_agree_and_share_cache_keys() {
+    use intrinsic_verify::core::pipeline::{load_methods, prepare_method_in, PipelineConfig};
+
+    let ids = list_ids();
+    let methods: Vec<String> = METHOD_NAMES.iter().map(|m| m.to_string()).collect();
+
+    // Cache keys per (method, vc) under both profiles.
+    let merged = load_methods(&ids, METHODS_SRC).unwrap();
+    for name in &methods {
+        let keys: Vec<Vec<u128>> = [SolverProfile::Default, SolverProfile::Legacy]
+            .iter()
+            .map(|&profile| {
+                let task = prepare_method_in(
+                    &ids,
+                    &merged,
+                    name,
+                    PipelineConfig {
+                        profile,
+                        ..PipelineConfig::default()
+                    },
+                )
+                .unwrap();
+                (0..task.num_vcs()).map(|vi| task.vc_key(vi)).collect()
+            })
+            .collect();
+        assert_eq!(
+            keys[0], keys[1],
+            "{}: cache keys depend on the profile",
+            name
+        );
+    }
+
+    // Full-batch reports per (pool mode, profile).
+    let selection = Selection {
+        name: "acyclic-list",
+        definition: &ids,
+        methods_src: METHODS_SRC,
+        methods,
+    };
+    for mode in [PoolMode::Structure, PoolMode::Method, PoolMode::None] {
+        let run = |profile: SolverProfile| {
+            verify_selections(
+                std::slice::from_ref(&selection),
+                &DriverConfig {
+                    jobs: 1,
+                    pool_mode: mode,
+                    cache_path: None,
+                    solver_profile: profile,
+                    ..DriverConfig::default()
+                },
+            )
+        };
+        let default = run(SolverProfile::Default);
+        let legacy = run(SolverProfile::Legacy);
+        assert!(default.errors.is_empty() && legacy.errors.is_empty());
+        assert_eq!(default.reports.len(), legacy.reports.len());
+        for (a, b) in default.reports.iter().zip(&legacy.reports) {
+            assert_eq!(a.method, b.method);
+            assert_eq!(
+                a.outcome, b.outcome,
+                "{:?}: {} diverged across solver profiles",
+                mode, a.method
+            );
+            assert_eq!(a.num_vcs, b.num_vcs);
+            assert_eq!(a.cached_vcs, b.cached_vcs);
+        }
+        assert_eq!(default.stats.vcs, legacy.stats.vcs);
+        assert_eq!(default.stats.smt_queries, legacy.stats.smt_queries);
+        assert_eq!(default.stats.cache_hits, legacy.stats.cache_hits);
+        assert_eq!(default.stats.skipped_vcs, legacy.stats.skipped_vcs);
     }
 }
