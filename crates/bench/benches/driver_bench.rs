@@ -8,7 +8,9 @@
 //! `delete_front`); the structure pool additionally shares the
 //! structure-common prelude across methods; the warm-cache run collapses to
 //! hashing + report assembly because every verdict is answered from the
-//! persisted cache.
+//! persisted cache. The `observer_off`/`observer_on` pair pins the cost of
+//! the `ids-obs` instrumentation: disarmed it is one relaxed atomic load per
+//! would-be event, armed it buys the full `--trace` timeline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ids_driver::{verify_selections, DriverConfig, PoolMode, Selection};
@@ -112,6 +114,52 @@ fn bench_driver(c: &mut Criterion) {
             });
         });
     }
+
+    // The observability overhead pair: the same single-method run with the
+    // subsystem disarmed (the shipping default — one relaxed atomic load per
+    // would-be event) vs fully armed (tracing buffers + a heartbeat observer
+    // firing every 1024 conflicts). The pair pins the "near-zero overhead
+    // when disabled" claim; `observer_on` bounds the cost of `--trace`.
+    group.bench_function("observer_off", |b| {
+        let selections = sll_selection(&ids, &methods);
+        let config = DriverConfig {
+            jobs: 1,
+            cache_path: None,
+            ..DriverConfig::default()
+        };
+        b.iter(|| {
+            let batch = verify_selections(&selections, &config);
+            assert!(batch.errors.is_empty());
+            batch.reports.len()
+        });
+    });
+
+    group.bench_function("observer_on", |b| {
+        struct Sink;
+        impl ids_obs::RunObserver for Sink {
+            fn heartbeat(&self, hb: &ids_obs::Heartbeat) {
+                std::hint::black_box(hb.conflicts);
+            }
+        }
+        let selections = sll_selection(&ids, &methods);
+        let config = DriverConfig {
+            jobs: 1,
+            cache_path: None,
+            ..DriverConfig::default()
+        };
+        ids_obs::set_heartbeat_conflicts(1024);
+        ids_obs::set_observer(Some(std::sync::Arc::new(Sink)));
+        b.iter(|| {
+            ids_obs::trace_start();
+            let batch = verify_selections(&selections, &config);
+            assert!(batch.errors.is_empty());
+            let lanes = ids_obs::trace_stop();
+            std::hint::black_box(lanes.len());
+            batch.reports.len()
+        });
+        ids_obs::set_observer(None);
+        ids_obs::set_heartbeat_conflicts(0);
+    });
 
     group.bench_function("parallel_jobs4", |b| {
         let selections = sll_selection(&ids, &methods);

@@ -120,6 +120,29 @@ pub struct MethodReport {
     /// How many of the VCs were answered from a result cache rather than by a
     /// fresh solver query (always 0 in the sequential pipeline).
     pub cached_vcs: usize,
+    /// Per-VC breakdown of the discharged VCs, in VC order. VCs that were
+    /// never run (early-stopped after a refutation, or cancelled by the batch
+    /// driver) are absent, so the vector can be shorter than `num_vcs`.
+    pub vc_reports: Vec<VcReport>,
+}
+
+/// The per-VC row of a [`MethodReport`]: verdict, wall-clock latency and
+/// solver statistics of one discharged verification condition (the unit of
+/// batch-level tail-latency analysis).
+#[derive(Clone, Debug)]
+pub struct VcReport {
+    /// Index of the VC inside its method.
+    pub vc_index: usize,
+    /// Human-readable description of the VC.
+    pub description: String,
+    /// The verdict.
+    pub verdict: VcVerdict,
+    /// Wall-clock time spent answering this VC (zero for cached results).
+    pub wall_time: Duration,
+    /// True if the result came from a cache instead of a solver run.
+    pub cached: bool,
+    /// Solver statistics of the query (zeroed for cached results).
+    pub solver: SolverStats,
 }
 
 /// The verdict of one verification condition.
@@ -233,6 +256,7 @@ impl MethodTask {
     /// Discharges one VC inside the given term manager (the sequential path
     /// reuses one manager across the method's VCs to avoid re-cloning).
     pub fn check_vc_in(&self, tm: &mut TermManager, vc_index: usize) -> VcResult {
+        let _obs = VcObsScope::open(&self.vcs[vc_index].description);
         let start = Instant::now();
         let (result, stats) =
             check_formula_with(tm, self.vcs[vc_index].formula, self.encoding, self.profile);
@@ -298,6 +322,7 @@ impl MethodTask {
         let mut duration = self.prepare_time;
         let mut solver = SolverStats::default();
         let mut cached_vcs = 0;
+        let mut vc_reports = Vec::with_capacity(results.len());
         let mut ordered: Vec<&VcResult> = results.iter().collect();
         ordered.sort_by_key(|r| r.vc_index);
         for r in &ordered {
@@ -306,6 +331,14 @@ impl MethodTask {
             if r.cached {
                 cached_vcs += 1;
             }
+            vc_reports.push(VcReport {
+                vc_index: r.vc_index,
+                description: self.vcs[r.vc_index].description.clone(),
+                verdict: r.verdict,
+                wall_time: r.time,
+                cached: r.cached,
+                solver: r.stats,
+            });
         }
         for r in &ordered {
             if r.verdict != VcVerdict::Valid {
@@ -335,7 +368,32 @@ impl MethodTask {
             ghost_violations: self.ghost_violations.clone(),
             solver,
             cached_vcs,
+            vc_reports,
         }
+    }
+}
+
+/// Observability scope of one VC check: labels heartbeats from this thread
+/// with the VC's description and opens the `"vc"` trace span; both are undone
+/// on drop. Free when instrumentation is disabled.
+struct VcObsScope {
+    _span: ids_obs::SpanGuard,
+}
+
+impl VcObsScope {
+    fn open(description: &str) -> VcObsScope {
+        if ids_obs::active() {
+            ids_obs::set_task(Some(description.to_string()));
+        }
+        VcObsScope {
+            _span: ids_obs::span_with("vc", || description.to_string()),
+        }
+    }
+}
+
+impl Drop for VcObsScope {
+    fn drop(&mut self) {
+        ids_obs::set_task(None);
     }
 }
 
@@ -373,6 +431,7 @@ impl<'a> MethodSession<'a> {
     /// Discharges one VC inside the session. Semantics (verdict kind, per-VC
     /// statistics shape) match [`MethodTask::check_vc`].
     pub fn check_vc(&mut self, vc_index: usize) -> VcResult {
+        let _obs = VcObsScope::open(&self.task.vcs[vc_index].description);
         let start = Instant::now();
         let (result, stats) = self.session.check_vc(
             &mut self.tm,
@@ -431,6 +490,8 @@ impl StructureSession {
     /// or `None` when their encoding cannot be discharged incrementally
     /// (quantified RQ3 mode — all tasks of a batch share one encoding).
     pub fn new(tasks: &[&MethodTask]) -> Option<StructureSession> {
+        let mut obs_span = ids_obs::span("structure");
+        obs_span.note(|| format!("methods={}", tasks.len()));
         let encoding = tasks.first()?.encoding;
         let profile = tasks.first()?.profile;
         if !VcSession::supports(encoding)
@@ -525,6 +586,7 @@ impl StructureSession {
     /// Panics if no method is open, or on out-of-order VC indices.
     pub fn check_vc(&mut self, method_idx: usize, vc_index: usize) -> VcResult {
         assert_eq!(self.open, Some(method_idx), "method not open");
+        let _obs = VcObsScope::open(&self.methods[method_idx].vcs[vc_index].description);
         let start = Instant::now();
         let method = &self.methods[method_idx];
         let (result, stats) =
@@ -548,6 +610,7 @@ impl StructureSession {
     /// stopping at the first non-valid result (sequential early-stop
     /// semantics).
     pub fn run_method(&mut self, method_idx: usize) -> Vec<VcResult> {
+        let _obs = ids_obs::span("method");
         self.begin_method(method_idx);
         let mut out = Vec::with_capacity(self.methods[method_idx].vcs.len());
         for i in 0..self.methods[method_idx].vcs.len() {
@@ -634,6 +697,7 @@ pub fn prepare_method_in(
     let (wellbehaved_violations, ghost_violations) =
         check_discipline(merged, &proc, method, config)?;
 
+    let _obs = ids_obs::span_with("prepare", || method.to_string());
     let start = Instant::now();
     let expanded = expand_program(ids, merged)?;
     let vcgen = VcGen::new(&expanded, config.encoding);

@@ -14,8 +14,10 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use ids_core::pipeline::{prepare_plain, PipelineConfig};
+use ids_core::pipeline::{prepare_plain, PipelineConfig, VcVerdict};
 use ids_core::report::{format_table, Table2Row};
 use ids_driver::json::Json;
 use ids_driver::{verify_selections, verify_tasks, BatchReport, DriverConfig, PoolMode, Selection};
@@ -49,6 +51,15 @@ OPTIONS:
                                     deletion, hybrid simplex pivoting
                          legacy     geometric restarts, no clause deletion,
                                     Bland pivoting (pre-tuning behaviour)
+    --trace PATH       write a Chrome trace_event JSON timeline of the run to
+                       PATH (open in chrome://tracing or Perfetto): one lane
+                       per worker thread, spans for each pipeline phase
+                       (lowering, CNF, SAT search segmented by restart, EUF,
+                       simplex), instants for cache hits, dedup hits and
+                       early-stop cancellations
+    --heartbeat SECS   print a liveness line to stderr at most every SECS
+                       seconds while the solver works (conflict/pivot
+                       counters of the VC currently in progress)
     --quick            (suite) only the quick benchmark subset
     --structure NAME   (suite) only structures whose name contains NAME
                        (substring match, case-insensitive);
@@ -65,6 +76,8 @@ struct Options {
     quantified: bool,
     pool_mode: PoolMode,
     solver_profile: SolverProfile,
+    trace: Option<PathBuf>,
+    heartbeat: Option<u64>,
     quick: bool,
     structure: Option<String>,
     methods: Vec<String>,
@@ -86,6 +99,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         quantified: false,
         pool_mode: PoolMode::default(),
         solver_profile: SolverProfile::default(),
+        trace: None,
+        heartbeat: None,
         quick: false,
         structure: None,
         methods: Vec::new(),
@@ -129,6 +144,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     )
                 })?;
             }
+            "--trace" => o.trace = Some(PathBuf::from(value_of("--trace")?)),
+            "--heartbeat" => {
+                let v = value_of("--heartbeat")?;
+                o.heartbeat = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("invalid --heartbeat value '{}'", v))?,
+                );
+            }
             "--quick" => o.quick = true,
             "--structure" => o.structure = Some(value_of("--structure")?),
             "--method" => o.methods.push(value_of("--method")?),
@@ -156,6 +179,83 @@ fn driver_config(o: &Options) -> DriverConfig {
         config.jobs = jobs;
     }
     config
+}
+
+/// The `--heartbeat` observer: prints one `[hb]` liveness line to stderr,
+/// rate-limited to at most one line per `every` (a `--heartbeat 0` prints
+/// every solver callback — useful only for debugging the plumbing itself).
+struct HeartbeatPrinter {
+    every: Duration,
+    last: Mutex<Option<Instant>>,
+}
+
+impl ids_obs::RunObserver for HeartbeatPrinter {
+    fn heartbeat(&self, hb: &ids_obs::Heartbeat) {
+        {
+            let mut last = self.last.lock().expect("heartbeat lock");
+            let now = Instant::now();
+            if let Some(prev) = *last {
+                if now.duration_since(prev) < self.every {
+                    return;
+                }
+            }
+            *last = Some(now);
+        }
+        eprintln!(
+            "[hb] {} [{}] conflicts {} decisions {} propagations {} restarts {} learned {} rounds {} pivots {}",
+            hb.task.as_deref().unwrap_or("-"),
+            hb.phase,
+            hb.conflicts,
+            hb.decisions,
+            hb.propagations,
+            hb.restarts,
+            hb.learned,
+            hb.theory_rounds,
+            hb.pivots,
+        );
+    }
+}
+
+/// Arms `--trace` / `--heartbeat` before the batch runs. The initial `[hb]`
+/// line guarantees at least one heartbeat line even on runs that finish
+/// before the first solver callback fires.
+fn install_observability(o: &Options) {
+    if o.trace.is_some() {
+        ids_obs::trace_start();
+        ids_obs::set_thread_label("main".to_string());
+    }
+    if let Some(secs) = o.heartbeat {
+        ids_obs::set_heartbeat_conflicts(1024);
+        ids_obs::set_observer(Some(Arc::new(HeartbeatPrinter {
+            every: Duration::from_secs(secs),
+            last: Mutex::new(None),
+        })));
+        eprintln!("[hb] liveness lines at most every {}s", secs);
+    }
+}
+
+/// Writes the `--trace` timeline (if armed). Returns the exit code to use
+/// instead of the verdict-derived one when the file cannot be written.
+fn write_trace(o: &Options) -> Option<ExitCode> {
+    let path = o.trace.as_ref()?;
+    let lanes = ids_obs::trace_stop();
+    let json = ids_obs::chrome_trace_json(&lanes);
+    match std::fs::write(path, json) {
+        Ok(()) => {
+            let events: usize = lanes.iter().map(|l| l.events.len()).sum();
+            eprintln!(
+                "trace: {} events on {} lanes written to {}",
+                events,
+                lanes.len(),
+                path.display()
+            );
+            None
+        }
+        Err(e) => {
+            eprintln!("error: cannot write trace {}: {}", path.display(), e);
+            Some(ExitCode::from(2))
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -236,8 +336,11 @@ fn run_suite(options: &Options) -> ExitCode {
         return ExitCode::from(2);
     }
     let config = driver_config(options);
+    install_observability(options);
     let batch = verify_selections(&selections, &config);
-    emit(&batch, &config, "suite", options.json)
+    let trace_failure = write_trace(options);
+    let code = emit(&batch, &config, "suite", options.json);
+    trace_failure.unwrap_or(code)
 }
 
 fn run_verify(options: &Options) -> ExitCode {
@@ -253,6 +356,7 @@ fn run_verify(options: &Options) -> ExitCode {
         }
     };
     let config = driver_config(options);
+    install_observability(options);
     let pipeline_config = PipelineConfig {
         encoding: config.encoding,
         profile: config.solver_profile,
@@ -346,7 +450,9 @@ fn run_verify(options: &Options) -> ExitCode {
         solved.errors.extend(batch.errors);
         solved
     };
-    emit(&batch, &config, "verify", options.json)
+    let trace_failure = write_trace(options);
+    let code = emit(&batch, &config, "verify", options.json);
+    trace_failure.unwrap_or(code)
 }
 
 /// Rejects a run in which a `--method` name matched nothing, or nothing is
@@ -403,7 +509,7 @@ fn emit(batch: &BatchReport, config: &DriverConfig, command: &str, json: bool) -
             .filter(|r| r.outcome.is_verified())
             .count();
         println!(
-            "\n{} methods ({} verified, {} failed), {} VCs | cache hits {}, SMT queries {}, skipped {} | prelude reused {}, lowered {} | wall {:.2}s (jobs={}, pool={}, profile={})",
+            "\n{} methods ({} verified, {} failed), {} VCs | cache hits {}, SMT queries {}, skipped {} ({} cancelled in flight) | prelude reused {}, lowered {} | wall {:.2}s (jobs={}, pool={}, profile={})",
             s.methods,
             verified,
             s.methods - verified,
@@ -411,6 +517,7 @@ fn emit(batch: &BatchReport, config: &DriverConfig, command: &str, json: bool) -
             s.cache_hits,
             s.smt_queries,
             s.skipped_vcs,
+            s.cancellations,
             s.solver.prelude_reused,
             s.solver.prelude_lowered,
             s.wall.as_secs_f64(),
@@ -436,6 +543,9 @@ fn solver_json(j: &mut Json, s: &SolverStats) {
     j.num_field("theory_rounds", s.theory_rounds as f64);
     j.num_field("sat_time_s", s.sat_time.as_secs_f64());
     j.num_field("theory_time_s", s.theory_time.as_secs_f64());
+    j.num_field("lower_time_s", s.lower_time.as_secs_f64());
+    j.num_field("euf_time_s", s.euf_time.as_secs_f64());
+    j.num_field("simplex_time_s", s.simplex_time.as_secs_f64());
     j.num_field("prelude_reused", s.prelude_reused as f64);
     j.num_field("prelude_lowered", s.prelude_lowered as f64);
     j.num_field("restarts", s.restarts as f64);
@@ -444,6 +554,33 @@ fn solver_json(j: &mut Json, s: &SolverStats) {
     j.num_field("max_lbd", s.max_lbd as f64);
     j.num_field("pivots", s.pivots as f64);
     j.end_object();
+}
+
+/// The per-phase wall-clock breakdown advertised by the observability layer.
+/// `overhead_s` is everything the four instrumented phases do not cover
+/// (Tseitin conversion, clause management, scheduling) — clamped at zero
+/// because cached VCs have wall time without solver time.
+fn phases_json(j: &mut Json, s: &SolverStats, wall: Duration) {
+    let lower = s.lower_time.as_secs_f64();
+    let sat = s.sat_time.as_secs_f64();
+    let euf = s.euf_time.as_secs_f64();
+    let simplex = s.simplex_time.as_secs_f64();
+    let overhead = (wall.as_secs_f64() - lower - sat - euf - simplex).max(0.0);
+    j.begin_object();
+    j.num_field("lower_s", lower);
+    j.num_field("sat_s", sat);
+    j.num_field("euf_s", euf);
+    j.num_field("simplex_s", simplex);
+    j.num_field("overhead_s", overhead);
+    j.end_object();
+}
+
+fn verdict_str(v: VcVerdict) -> &'static str {
+    match v {
+        VcVerdict::Valid => "valid",
+        VcVerdict::Refuted => "refuted",
+        VcVerdict::Unknown => "unknown",
+    }
 }
 
 fn to_json(batch: &BatchReport, config: &DriverConfig, command: &str) -> String {
@@ -472,6 +609,22 @@ fn to_json(batch: &BatchReport, config: &DriverConfig, command: &str) -> String 
         j.num_field("lc_size", r.lc_size as f64);
         j.key("solver");
         solver_json(&mut j, &r.solver);
+        j.key("phases");
+        phases_json(&mut j, &r.solver, r.duration);
+        j.key("vc_reports");
+        j.begin_array();
+        for vc in &r.vc_reports {
+            j.begin_object();
+            j.num_field("index", vc.vc_index as f64);
+            j.str_field("description", &vc.description);
+            j.str_field("verdict", verdict_str(vc.verdict));
+            j.bool_field("cached", vc.cached);
+            j.num_field("wall_time_ms", vc.wall_time.as_secs_f64() * 1e3);
+            j.key("phases");
+            phases_json(&mut j, &vc.solver, vc.wall_time);
+            j.end_object();
+        }
+        j.end_array();
         j.end_object();
     }
     j.end_array();
@@ -492,9 +645,12 @@ fn to_json(batch: &BatchReport, config: &DriverConfig, command: &str) -> String 
     j.num_field("cache_hits", batch.stats.cache_hits as f64);
     j.num_field("smt_queries", batch.stats.smt_queries as f64);
     j.num_field("skipped_vcs", batch.stats.skipped_vcs as f64);
+    j.num_field("cancellations", batch.stats.cancellations as f64);
     j.num_field("wall_s", batch.stats.wall.as_secs_f64());
     j.key("solver");
     solver_json(&mut j, &batch.stats.solver);
+    j.key("phases");
+    phases_json(&mut j, &batch.stats.solver, batch.stats.wall);
     j.end_object();
     j.end_object();
     j.finish()

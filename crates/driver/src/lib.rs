@@ -210,6 +210,14 @@ pub struct DriverStats {
     /// VCs skipped because their method was already refuted (the parallel
     /// analogue of the sequential pipeline's early stop).
     pub skipped_vcs: usize,
+    /// Early-stop cancellations observed by workers during the solve stage:
+    /// the number of scheduled VC executions that were abandoned because a
+    /// sibling VC's refutation cancelled their method. Not a subset of
+    /// `skipped_vcs` in either direction: a cancelled VC that precedes the
+    /// refutation in VC order is re-solved by the repair pass (cancelled but
+    /// not skipped), and a VC of a cache-refuted method is never scheduled
+    /// at all (skipped but not cancelled).
+    pub cancellations: usize,
     /// Wall-clock time of the whole batch.
     pub wall: Duration,
     /// Merged solver statistics over all fresh queries.
@@ -319,14 +327,18 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
     // key so identical formulas across the batch are solved exactly once.
     let mut results: Vec<Vec<Option<VcResult>>> =
         tasks.iter().map(|t| vec![None; t.num_vcs()]).collect();
+    let resolve_span = ids_obs::span("resolve");
     let mut cache_hits = 0usize;
     let mut smt_queries = 0usize;
     // BTreeMap: deterministic job order regardless of hash values.
     let mut pending: BTreeMap<u128, Vec<(usize, usize)>> = BTreeMap::new();
-    // Tasks with a known-refuted VC: their remaining VCs are skipped, the
-    // parallel analogue of the sequential early stop. Seeded from the cache,
-    // extended concurrently by workers as refutations come in.
-    let mut refuted_tasks: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    // Tasks with a known-refuted VC (mapped to when the refutation was
+    // learned, for cancellation-latency telemetry): their remaining VCs are
+    // skipped, the parallel analogue of the sequential early stop. Seeded
+    // from the cache, extended concurrently by workers as refutations come
+    // in.
+    let mut refuted_tasks: std::collections::HashMap<usize, Instant> =
+        std::collections::HashMap::new();
     // Hash every VC once; the resolve and repair passes share the keys
     // (structural hashing walks the whole formula DAG — not free).
     let keys: Vec<Vec<u128>> = tasks
@@ -339,25 +351,28 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
             if let Some(verdict) = cache.get(key) {
                 *slot = Some(VcResult::from_cache(vi, verdict));
                 cache_hits += 1;
+                ids_obs::instant_with("cache_hit", || format!("{} vc {}", tasks[ti].method, vi));
                 if verdict == ids_core::pipeline::VcVerdict::Refuted {
-                    refuted_tasks.insert(ti);
+                    refuted_tasks.entry(ti).or_insert_with(Instant::now);
                 }
             } else {
                 pending.entry(key).or_default().push((ti, vi));
             }
         }
     }
+    drop(resolve_span);
 
     // --------------------------------------------------------- solve stage
     // Each pending key is solved at one "primary" site — preferably one whose
     // method is not already refuted, so a cancellation cannot starve a
     // sibling method that shares the formula.
+    let solve_span = ids_obs::span("solve");
     let jobs: Vec<(u128, usize, usize)> = pending
         .iter()
         .filter_map(|(&key, sites)| {
             sites
                 .iter()
-                .find(|(ti, _)| !refuted_tasks.contains(ti))
+                .find(|(ti, _)| !refuted_tasks.contains_key(ti))
                 .or_else(|| sites.first())
                 .map(|&(ti, vi)| (key, ti, vi))
         })
@@ -365,6 +380,21 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
     let tasks_ref = &tasks;
     let cancelled = std::sync::Mutex::new(refuted_tasks);
     let cancelled_ref = &cancelled;
+    let cancellation_count = std::sync::atomic::AtomicUsize::new(0);
+    // Records one worker-observed early stop: a scheduled VC abandoned
+    // because its method was cancelled `since` ago.
+    let note_cancellation = |ti: usize, vi: usize, since: Instant| {
+        cancellation_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        ids_obs::instant_with("cancelled", || {
+            format!(
+                "{} vc {} stopped {}us after refutation",
+                tasks_ref[ti].method,
+                vi,
+                since.elapsed().as_micros()
+            )
+        });
+    };
+    let note_cancellation = &note_cancellation;
     // Runs one method's pending VCs in index order (hypothesis prefixes are
     // monotone; cache-answered indices are simply skipped) through `check`,
     // honouring per-VC cancellation; a refuted VC cancels the method's rest —
@@ -375,13 +405,19 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
                             check: &mut dyn FnMut(usize) -> VcResult| {
         items.sort_by_key(|&(_, vi)| vi);
         for (key, vi) in items {
-            if cancelled_ref.lock().expect("cancel set").contains(&ti) {
+            let since = cancelled_ref.lock().expect("cancel set").get(&ti).copied();
+            if let Some(since) = since {
+                note_cancellation(ti, vi, since);
                 out.push((key, ti, vi, None));
                 continue;
             }
             let result = check(vi);
             if result.verdict == ids_core::pipeline::VcVerdict::Refuted {
-                cancelled_ref.lock().expect("cancel set").insert(ti);
+                cancelled_ref
+                    .lock()
+                    .expect("cancel set")
+                    .entry(ti)
+                    .or_insert_with(Instant::now);
             }
             out.push((key, ti, vi, Some(result)));
         }
@@ -457,17 +493,24 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
             .collect()
         }
         PoolMode::None => pool::run(config.jobs, jobs, move |(key, ti, vi)| {
-            if cancelled_ref.lock().expect("cancel set").contains(&ti) {
+            let since = cancelled_ref.lock().expect("cancel set").get(&ti).copied();
+            if let Some(since) = since {
+                note_cancellation(ti, vi, since);
                 return (key, ti, vi, None);
             }
             let result = tasks_ref[ti].check_vc(vi);
             if result.verdict == ids_core::pipeline::VcVerdict::Refuted {
-                cancelled_ref.lock().expect("cancel set").insert(ti);
+                cancelled_ref
+                    .lock()
+                    .expect("cancel set")
+                    .entry(ti)
+                    .or_insert_with(Instant::now);
             }
             (key, ti, vi, Some(result))
         }),
     };
     drop(cancelled);
+    let cancellations = cancellation_count.load(std::sync::atomic::Ordering::Relaxed);
     for (key, ti, vi, result) in solved {
         let Some(result) = result else { continue };
         smt_queries += 1;
@@ -483,9 +526,13 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
             } else {
                 results[sti][svi] = Some(VcResult::from_cache(svi, result.verdict));
                 cache_hits += 1;
+                ids_obs::instant_with("dedup_hit", || {
+                    format!("{} vc {}", tasks_ref[sti].method, svi)
+                });
             }
         }
     }
+    drop(solve_span);
 
     // ---------------------------------------------------------- repair pass
     // Walk every method's VCs in order and fill any slot the parallel stage
@@ -496,6 +543,7 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
     // before it discharged, no matter how the concurrent stage interleaved or
     // what the cache already knew. VCs after that boundary stay unsolved
     // (`skipped_vcs`), the early-stop saving.
+    let repair_span = ids_obs::span("repair");
     for (ti, (task, slots)) in tasks.iter().zip(results.iter_mut()).enumerate() {
         // Repaired VCs share one incremental session per method too (opened
         // lazily: most methods need no repair). Indices may be skipped —
@@ -531,6 +579,7 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
             }
         }
     }
+    drop(repair_span);
 
     if let (Some(path), true) = (&config.cache_path, cache.is_dirty()) {
         // Merge-under-lock: concurrent ids-verify runs sharing this cache
@@ -544,6 +593,7 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
     let mut stats = DriverStats {
         smt_queries,
         cache_hits,
+        cancellations,
         ..DriverStats::default()
     };
     let mut reports = Vec::with_capacity(tasks.len());
@@ -733,6 +783,58 @@ mod tests {
             warm.stats.vcs
         );
         std::fs::remove_file(&cache).ok();
+    }
+
+    #[test]
+    fn refutation_cancels_trailing_vcs_and_counts_them() {
+        // A method refuted mid-way: every VC scheduled after the refuting
+        // one is abandoned, and each abandonment is surfaced as a
+        // cancellation. With jobs=1 the whole job list is enqueued before
+        // the inline worker starts, so every trailing VC deterministically
+        // observes the refutation. In structure/method modes a session runs
+        // its VCs in VC order, so exactly the skipped VCs are cancelled; in
+        // none mode jobs run in cache-key order, so VCs *before* the
+        // refutation can be cancelled too and then re-solved by the repair
+        // pass — cancellations can only exceed skipped_vcs.
+        let b = ids_structures::Benchmark {
+            name: "Singly-Linked List (buggy)",
+            definition: lists::singly_linked_list(),
+            methods_src: ids_structures::buggy::BUGGY_LIST_METHODS,
+            methods: vec![],
+        };
+        let sel = vec![Selection::methods_of(&b, &["insert_front_forgets_length"])];
+        for mode in [PoolMode::Structure, PoolMode::Method, PoolMode::None] {
+            let batch = verify_selections(
+                &sel,
+                &DriverConfig {
+                    jobs: 1,
+                    pool_mode: mode,
+                    ..DriverConfig::default()
+                },
+            );
+            assert!(batch.errors.is_empty(), "{:?}", batch.errors);
+            assert!(!batch.reports[0].outcome.is_verified());
+            assert!(
+                batch.stats.skipped_vcs > 0,
+                "{:?}: the fixture no longer early-stops anything",
+                mode
+            );
+            if mode == PoolMode::None {
+                assert!(
+                    batch.stats.cancellations >= batch.stats.skipped_vcs,
+                    "{:?}: {} cancellations < {} skipped",
+                    mode,
+                    batch.stats.cancellations,
+                    batch.stats.skipped_vcs
+                );
+            } else {
+                assert_eq!(
+                    batch.stats.cancellations, batch.stats.skipped_vcs,
+                    "{:?}: a session cancels exactly the VCs after the refutation",
+                    mode
+                );
+            }
+        }
     }
 
     #[test]

@@ -42,20 +42,26 @@ where
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let res_tx = res_tx.clone();
             let job_rx = &job_rx;
             let f = &f;
-            scope.spawn(move || loop {
-                // Hold the lock only while popping, not while working.
-                let job = job_rx.lock().expect("queue lock").recv();
-                match job {
-                    Ok((i, item)) => {
-                        if res_tx.send((i, f(item))).is_err() {
-                            return;
+            scope.spawn(move || {
+                // Trace exports show one lane per worker; label it.
+                if ids_obs::active() {
+                    ids_obs::set_thread_label(format!("worker-{w}"));
+                }
+                loop {
+                    // Hold the lock only while popping, not while working.
+                    let job = job_rx.lock().expect("queue lock").recv();
+                    match job {
+                        Ok((i, item)) => {
+                            if res_tx.send((i, f(item))).is_err() {
+                                return;
+                            }
                         }
+                        Err(_) => return, // queue drained
                     }
-                    Err(_) => return, // queue drained
                 }
             });
         }

@@ -1,0 +1,617 @@
+//! `ids-obs` — zero-dependency tracing and metrics for the verification
+//! pipeline.
+//!
+//! The subsystem has three moving parts, all behind process-global toggles so
+//! that instrumentation sites never thread a handle through the solver stack
+//! (solver configurations are `Copy` and cross thread boundaries freely):
+//!
+//! * **Spans** — RAII timers ([`span`], [`SpanGuard`], [`SegmentedSpan`])
+//!   that record `Begin`/`End` events into a per-thread buffer while a trace
+//!   is active, and maintain a thread-local *span stack* (the "current phase"
+//!   reported by heartbeats). Buffers are registered globally and merged at
+//!   [`trace_stop`]; the hot path takes exactly one uncontended lock on the
+//!   emitting thread's own buffer.
+//! * **Chrome-trace export** — [`chrome_trace_json`] renders the collected
+//!   [`Lane`]s as Chrome `trace_event` JSON (one lane per thread) that opens
+//!   directly in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//! * **Heartbeats** — a registered [`RunObserver`] is invoked from inside the
+//!   SAT search and simplex loops every [`heartbeat_interval`] conflicts (and
+//!   at every restart), carrying live counters plus the innermost span name,
+//!   so long-running VCs are diagnosable mid-flight.
+//!
+//! **Overhead contract**: with tracing off and no observer installed, every
+//! entry point reduces to one relaxed atomic load and an immediate return —
+//! no allocation, no locks, no clock reads. Instrumented code must not change
+//! behavior either way; the driver's parity tests pin byte-identical verdicts
+//! with the observer enabled vs disabled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------- global state
+
+/// Event buffering on/off (flipped by [`trace_start`]/[`trace_stop`]).
+static TRACING: AtomicBool = AtomicBool::new(false);
+/// Fast-path gate: true iff tracing is on *or* an observer is installed.
+/// Every instrumentation entry point loads this (relaxed) and bails early.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+/// Heartbeat cadence in SAT conflicts (0 = heartbeats off).
+static HEARTBEAT_CONFLICTS: AtomicU64 = AtomicU64::new(0);
+/// The installed progress observer, if any.
+static OBSERVER: RwLock<Option<Arc<dyn RunObserver>>> = RwLock::new(None);
+/// Process-wide clock epoch; all event timestamps are microseconds since it.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+/// Every thread that ever emitted registers its buffer here; [`trace_stop`]
+/// drains them all. The `Arc` keeps buffers alive past worker-thread exit.
+static REGISTRY: Mutex<Vec<Arc<Mutex<ThreadBuf>>>> = Mutex::new(Vec::new());
+/// Monotone lane allocator (Chrome `tid`), one lane per OS thread.
+static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+
+struct ThreadBuf {
+    lane: u64,
+    label: String,
+    events: Vec<Event>,
+}
+
+thread_local! {
+    static BUF: Arc<Mutex<ThreadBuf>> = register_thread();
+    static SPANS: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static TASK: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+fn register_thread() -> Arc<Mutex<ThreadBuf>> {
+    let lane = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+    let buf = Arc::new(Mutex::new(ThreadBuf {
+        lane,
+        label: format!("thread-{lane}"),
+        events: Vec::new(),
+    }));
+    REGISTRY
+        .lock()
+        .expect("obs registry")
+        .push(Arc::clone(&buf));
+    buf
+}
+
+fn refresh_active() {
+    let observing = OBSERVER.read().map(|o| o.is_some()).unwrap_or(false);
+    ACTIVE.store(
+        TRACING.load(Ordering::Relaxed) || observing,
+        Ordering::Relaxed,
+    );
+}
+
+fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+fn push_event(event: Event) {
+    // `try_with` so a drop racing thread-local teardown degrades to a lost
+    // event instead of a panic.
+    let _ = BUF.try_with(|buf| buf.lock().expect("obs thread buffer").events.push(event));
+}
+
+/// True while instrumentation must do *any* work (tracing on, or an observer
+/// installed). This is the single relaxed load on the disabled fast path.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// True while events are being buffered for trace export.
+pub fn tracing() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+// --------------------------------------------------------------------- events
+
+/// The Chrome `trace_event` phase of an [`Event`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// A span opened (`ph: "B"`).
+    Begin,
+    /// A span closed (`ph: "E"`).
+    End,
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+}
+
+/// One buffered trace event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Span or marker name (a phase like `"sat"`, `"euf"`, `"vc"`).
+    pub name: &'static str,
+    /// Optional free-form payload rendered into the event's `args`.
+    pub detail: Option<String>,
+    /// Begin / end / instant.
+    pub kind: EventKind,
+    /// Microseconds since the process trace epoch.
+    pub ts_us: u64,
+}
+
+/// All events of one thread, in emission order (timestamps are monotone
+/// within a lane).
+#[derive(Clone, Debug)]
+pub struct Lane {
+    /// Chrome `tid` of this lane (unique per thread).
+    pub lane: u64,
+    /// Human-readable lane name (set via [`set_thread_label`]).
+    pub label: String,
+    /// The buffered events.
+    pub events: Vec<Event>,
+}
+
+// ---------------------------------------------------------------------- spans
+
+/// RAII span: records a `Begin` event now and the matching `End` on drop, and
+/// keeps the span name on the thread's phase stack in between. Construction
+/// snapshots the toggles, so a span stays balanced even if tracing is flipped
+/// while it is open.
+pub struct SpanGuard {
+    name: &'static str,
+    pushed: bool,
+    buffered: bool,
+    end_detail: Option<String>,
+}
+
+impl SpanGuard {
+    fn open(name: &'static str, detail: Option<String>) -> SpanGuard {
+        let pushed = active();
+        if pushed {
+            let _ = SPANS.try_with(|s| s.borrow_mut().push(name));
+        }
+        let buffered = tracing();
+        if buffered {
+            push_event(Event {
+                name,
+                detail,
+                kind: EventKind::Begin,
+                ts_us: now_us(),
+            });
+        }
+        SpanGuard {
+            name,
+            pushed,
+            buffered,
+            end_detail: None,
+        }
+    }
+
+    /// Attaches a lazily-built payload to the span's `End` event (e.g. a
+    /// pivot count only known when the phase finishes). The closure only runs
+    /// while tracing is buffering events.
+    pub fn note(&mut self, detail: impl FnOnce() -> String) {
+        if self.buffered {
+            self.end_detail = Some(detail());
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.buffered {
+            push_event(Event {
+                name: self.name,
+                detail: self.end_detail.take(),
+                kind: EventKind::End,
+                ts_us: now_us(),
+            });
+        }
+        if self.pushed {
+            let _ = SPANS.try_with(|s| s.borrow_mut().pop());
+        }
+    }
+}
+
+/// Opens a span named `name`; the span closes when the guard drops.
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard::open(name, None)
+}
+
+/// Like [`span`], with a lazily-built `Begin` payload (only evaluated while
+/// tracing is buffering events).
+pub fn span_with(name: &'static str, detail: impl FnOnce() -> String) -> SpanGuard {
+    let detail = if tracing() { Some(detail()) } else { None };
+    SpanGuard::open(name, detail)
+}
+
+/// A span that is closed and immediately reopened at interior *segment*
+/// boundaries — the SAT search uses one per solve call, restarting the
+/// segment at every restart so the trace shows search effort per restart.
+/// The drop guarantee of the inner [`SpanGuard`] keeps `Begin`/`End` pairs
+/// matched on every exit path.
+pub struct SegmentedSpan {
+    name: &'static str,
+    inner: Option<SpanGuard>,
+}
+
+impl SegmentedSpan {
+    /// Opens the first segment.
+    pub fn new(name: &'static str) -> SegmentedSpan {
+        SegmentedSpan {
+            name,
+            inner: Some(SpanGuard::open(name, None)),
+        }
+    }
+
+    /// Ends the current segment and begins the next one, labelled by
+    /// `detail` (only evaluated while tracing is buffering events).
+    pub fn restart(&mut self, detail: impl FnOnce() -> String) {
+        // Drop first so the End of the old segment precedes the new Begin.
+        self.inner = None;
+        self.inner = Some(SpanGuard::open(
+            self.name,
+            if tracing() { Some(detail()) } else { None },
+        ));
+    }
+}
+
+/// Records a point-in-time marker event.
+pub fn instant(name: &'static str) {
+    if tracing() {
+        push_event(Event {
+            name,
+            detail: None,
+            kind: EventKind::Instant,
+            ts_us: now_us(),
+        });
+    }
+}
+
+/// Like [`instant`], with a lazily-built payload (only evaluated while
+/// tracing is buffering events).
+pub fn instant_with(name: &'static str, detail: impl FnOnce() -> String) {
+    if tracing() {
+        push_event(Event {
+            name,
+            detail: Some(detail()),
+            kind: EventKind::Instant,
+            ts_us: now_us(),
+        });
+    }
+}
+
+// ------------------------------------------------------------- task / threads
+
+/// Labels the current thread's lane in trace exports (e.g. `"worker-3"`).
+pub fn set_thread_label(label: String) {
+    let _ = BUF.try_with(|buf| buf.lock().expect("obs thread buffer").label = label);
+}
+
+/// Sets the task label (typically a VC description) heartbeats from this
+/// thread report. No-op unless instrumentation is [`active`].
+pub fn set_task(task: Option<String>) {
+    if active() {
+        let _ = TASK.try_with(|t| *t.borrow_mut() = task);
+    }
+}
+
+// ----------------------------------------------------------------- heartbeats
+
+/// Live progress counters delivered to a [`RunObserver`]. Counter fields are
+/// cumulative over the emitting solver's lifetime (a warm pooled solver keeps
+/// counting across the VCs it discharges); each emission site fills the
+/// counters it knows and leaves the rest 0.
+#[derive(Clone, Debug, Default)]
+pub struct Heartbeat {
+    /// The task (VC) the emitting thread is working on, if labelled.
+    pub task: Option<String>,
+    /// Innermost open span name on the emitting thread (`""` if none).
+    pub phase: &'static str,
+    /// SAT conflicts.
+    pub conflicts: u64,
+    /// SAT decisions.
+    pub decisions: u64,
+    /// SAT unit propagations.
+    pub propagations: u64,
+    /// SAT restarts.
+    pub restarts: u64,
+    /// Live learned clauses in the SAT core.
+    pub learned: u64,
+    /// DPLL(T) theory rounds of the current check.
+    pub theory_rounds: u64,
+    /// Simplex pivots.
+    pub pivots: u64,
+}
+
+/// A progress observer. The default implementation ignores everything, so
+/// implementors override only what they consume; observers must be cheap and
+/// non-blocking — they run inside solver hot loops.
+pub trait RunObserver: Send + Sync {
+    /// Called from solver loops every [`heartbeat_interval`] conflicts, at
+    /// every restart, and once per theory round.
+    fn heartbeat(&self, _hb: &Heartbeat) {}
+}
+
+/// Installs (or, with `None`, removes) the process-wide observer.
+pub fn set_observer(observer: Option<Arc<dyn RunObserver>>) {
+    *OBSERVER.write().expect("obs observer") = observer;
+    refresh_active();
+}
+
+/// Sets the heartbeat cadence in SAT conflicts (0 disables heartbeats).
+pub fn set_heartbeat_conflicts(every: u64) {
+    HEARTBEAT_CONFLICTS.store(every, Ordering::Relaxed);
+}
+
+/// The heartbeat cadence in SAT conflicts (0 = off). Emission sites gate on
+/// this before building a [`Heartbeat`].
+pub fn heartbeat_interval() -> u64 {
+    HEARTBEAT_CONFLICTS.load(Ordering::Relaxed)
+}
+
+/// Delivers a heartbeat to the installed observer, filling in the emitting
+/// thread's task label and current phase. No-op without an observer.
+pub fn emit_heartbeat(mut hb: Heartbeat) {
+    let observer = {
+        let guard = OBSERVER.read().expect("obs observer");
+        guard.clone()
+    };
+    let Some(observer) = observer else {
+        return;
+    };
+    hb.task = TASK
+        .try_with(|t| t.borrow().clone())
+        .ok()
+        .flatten()
+        .or(hb.task);
+    hb.phase = SPANS
+        .try_with(|s| s.borrow().last().copied())
+        .ok()
+        .flatten()
+        .unwrap_or(hb.phase);
+    observer.heartbeat(&hb);
+}
+
+// -------------------------------------------------------------- trace control
+
+/// Starts buffering trace events (clearing any previous buffers).
+pub fn trace_start() {
+    EPOCH.get_or_init(Instant::now);
+    for buf in REGISTRY.lock().expect("obs registry").iter() {
+        buf.lock().expect("obs thread buffer").events.clear();
+    }
+    TRACING.store(true, Ordering::Relaxed);
+    refresh_active();
+}
+
+/// Stops buffering and returns every lane that recorded at least one event.
+pub fn trace_stop() -> Vec<Lane> {
+    TRACING.store(false, Ordering::Relaxed);
+    refresh_active();
+    let mut lanes: Vec<Lane> = REGISTRY
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .filter_map(|buf| {
+            let mut buf = buf.lock().expect("obs thread buffer");
+            if buf.events.is_empty() {
+                return None;
+            }
+            Some(Lane {
+                lane: buf.lane,
+                label: buf.label.clone(),
+                events: std::mem::take(&mut buf.events),
+            })
+        })
+        .collect();
+    lanes.sort_by_key(|l| l.lane);
+    lanes
+}
+
+// -------------------------------------------------------- Chrome-trace export
+
+/// Renders lanes as Chrome `trace_event` JSON (the object form, with a
+/// `traceEvents` array), loadable in `chrome://tracing` and Perfetto. Each
+/// lane becomes one `tid` under `pid` 1, named via `thread_name` metadata.
+pub fn chrome_trace_json(lanes: &[Lane]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |s: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&s);
+    };
+    emit(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"ids-verify\"}}"
+            .to_string(),
+        &mut first,
+    );
+    for lane in lanes {
+        emit(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                lane.lane,
+                escape_json(&lane.label)
+            ),
+            &mut first,
+        );
+        for event in &lane.events {
+            let ph = match event.kind {
+                EventKind::Begin => "B",
+                EventKind::End => "E",
+                EventKind::Instant => "i",
+            };
+            let mut body = format!(
+                "{{\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":\"{}\"",
+                ph,
+                lane.lane,
+                event.ts_us,
+                escape_json(event.name)
+            );
+            if event.kind == EventKind::Instant {
+                body.push_str(",\"s\":\"t\"");
+            }
+            if let Some(detail) = &event.detail {
+                body.push_str(",\"args\":{\"detail\":\"");
+                body.push_str(&escape_json(detail));
+                body.push_str("\"}");
+            }
+            body.push('}');
+            emit(body, &mut first);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct Counting {
+        calls: AtomicUsize,
+        last_phase: Mutex<String>,
+    }
+    impl RunObserver for Counting {
+        fn heartbeat(&self, hb: &Heartbeat) {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            *self.last_phase.lock().unwrap() = hb.phase.to_string();
+        }
+    }
+
+    /// One sequential test for everything touching the process-global
+    /// toggles: `cargo test` runs tests concurrently within a binary, so
+    /// splitting these up would race on `TRACING`/`OBSERVER`.
+    #[test]
+    fn global_lifecycle() {
+        // Disabled fast path: nothing is recorded, nothing is active.
+        assert!(!active() && !tracing());
+        {
+            let _s = span("dead");
+            instant("dead_marker");
+        }
+        trace_start();
+        assert!(tracing() && active());
+
+        // Spans nest, segment, and carry details.
+        set_thread_label("test-main".to_string());
+        {
+            let mut outer = span_with("vc", || "demo vc".to_string());
+            {
+                let mut seg = SegmentedSpan::new("sat");
+                seg.restart(|| "restart 1".to_string());
+            }
+            instant_with("cache_hit", || "key=42".to_string());
+            outer.note(|| "done".to_string());
+        }
+
+        let lanes = trace_stop();
+        assert!(!tracing() && !active());
+        let lane = lanes
+            .iter()
+            .find(|l| l.label == "test-main")
+            .expect("this thread's lane");
+        // The "dead" span from before trace_start must not appear.
+        assert!(lanes
+            .iter()
+            .all(|l| l.events.iter().all(|e| !e.name.starts_with("dead"))));
+        // Begin/End pairs are matched per lane and timestamps are monotone.
+        let mut depth = 0i64;
+        let mut last_ts = 0u64;
+        for event in &lane.events {
+            assert!(event.ts_us >= last_ts, "timestamps monotone");
+            last_ts = event.ts_us;
+            match event.kind {
+                EventKind::Begin => depth += 1,
+                EventKind::End => depth -= 1,
+                EventKind::Instant => {}
+            }
+            assert!(depth >= 0, "End without Begin");
+        }
+        assert_eq!(depth, 0, "unclosed span");
+        // The segmented span produced two "sat" Begin events.
+        let sat_begins = lane
+            .events
+            .iter()
+            .filter(|e| e.name == "sat" && e.kind == EventKind::Begin)
+            .count();
+        assert_eq!(sat_begins, 2);
+        // The outer span's End event carries the note.
+        assert!(lane
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::End && e.detail.as_deref() == Some("done")));
+
+        // JSON export is well-formed enough to spot-check.
+        let json = chrome_trace_json(&lanes);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"test-main\""));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"s\":\"t\""));
+
+        // Heartbeats reach the observer with the thread's phase and task.
+        let observer = Arc::new(Counting {
+            calls: AtomicUsize::new(0),
+            last_phase: Mutex::new(String::new()),
+        });
+        set_observer(Some(Arc::clone(&observer) as Arc<dyn RunObserver>));
+        assert!(active() && !tracing());
+        set_task(Some("vc 3".to_string()));
+        {
+            let _s = span("simplex");
+            emit_heartbeat(Heartbeat {
+                pivots: 17,
+                ..Heartbeat::default()
+            });
+        }
+        assert_eq!(observer.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(&*observer.last_phase.lock().unwrap(), "simplex");
+        set_observer(None);
+        set_task(None);
+        assert!(!active());
+        // With no observer, emission is a no-op.
+        emit_heartbeat(Heartbeat::default());
+        assert_eq!(observer.calls.load(Ordering::Relaxed), 1);
+
+        // Heartbeat cadence plumbing.
+        assert_eq!(heartbeat_interval(), 0);
+        set_heartbeat_conflicts(1024);
+        assert_eq!(heartbeat_interval(), 1024);
+        set_heartbeat_conflicts(0);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.contains("process_name"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

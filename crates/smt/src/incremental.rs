@@ -134,6 +134,7 @@ struct MethodRollback {
     /// cancelled) cannot leak into the next method's statistics.
     pending_reused: u64,
     pending_lowered: u64,
+    pending_lower_time: std::time::Duration,
 }
 
 /// An SMT solver with persistent state and a push/pop assertion stack.
@@ -162,6 +163,10 @@ pub struct IncrementalSolver {
     /// between checks; `check` folds them into its stats delta).
     pending_reused: u64,
     pending_lowered: u64,
+    /// Wall-clock time spent lowering assertions since the last `check`
+    /// (assertions happen between checks; `check` claims the accumulated
+    /// time as its `lower_time`).
+    pending_lower_time: std::time::Duration,
 }
 
 impl Default for IncrementalSolver {
@@ -198,6 +203,7 @@ impl IncrementalSolver {
             asserted_roots: HashSet::new(),
             pending_reused: 0,
             pending_lowered: 0,
+            pending_lower_time: std::time::Duration::ZERO,
         }
     }
 
@@ -270,6 +276,7 @@ impl IncrementalSolver {
             saw_quantifier: self.saw_quantifier,
             pending_reused: self.pending_reused,
             pending_lowered: self.pending_lowered,
+            pending_lower_time: self.pending_lower_time,
         });
     }
 
@@ -298,6 +305,7 @@ impl IncrementalSolver {
         self.saw_quantifier = m.saw_quantifier;
         self.pending_reused = m.pending_reused;
         self.pending_lowered = m.pending_lowered;
+        self.pending_lower_time = m.pending_lower_time;
         self.model = None;
     }
 
@@ -332,7 +340,13 @@ impl IncrementalSolver {
         } else {
             self.pending_reused += 1;
         }
-        let batch = self.lower.add(tm, &[t]);
+        let lower_start = std::time::Instant::now();
+        let batch = {
+            let _obs = ids_obs::span("lower");
+            self.lower.add(tm, &[t])
+        };
+        self.pending_lower_time += lower_start.elapsed();
+        let _obs = ids_obs::span("cnf");
         for f in batch.facts {
             self.assert_lowered(tm, f, true);
         }
@@ -425,6 +439,7 @@ impl IncrementalSolver {
         self.stats = SolverStats::default();
         self.stats.prelude_reused = std::mem::take(&mut self.pending_reused);
         self.stats.prelude_lowered = std::mem::take(&mut self.pending_lowered);
+        self.stats.lower_time = std::mem::take(&mut self.pending_lower_time);
         self.model = None;
         if self.saw_quantifier {
             return SatResult::Unknown;
@@ -482,9 +497,23 @@ impl IncrementalSolver {
             }
             let literals = live_literals(&self.atom_map, sat, &self.atom_scope, &self.scopes);
             let theory_start = std::time::Instant::now();
-            let (theory_result, pivots) = checker.check_with(tm, &literals, pivot);
+            let (theory_result, theory_tel) = checker.check_with(tm, &literals, pivot);
             stats.theory_time += theory_start.elapsed();
-            stats.pivots += pivots;
+            stats.pivots += theory_tel.pivots;
+            stats.euf_time += theory_tel.euf_time;
+            stats.simplex_time += theory_tel.simplex_time;
+            if ids_obs::heartbeat_interval() != 0 {
+                ids_obs::emit_heartbeat(ids_obs::Heartbeat {
+                    conflicts: sat.conflicts,
+                    decisions: sat.decisions,
+                    propagations: sat.propagations,
+                    restarts: sat.restarts,
+                    learned: sat.num_learned() as u64,
+                    theory_rounds: stats.theory_rounds,
+                    pivots: stats.pivots,
+                    ..ids_obs::Heartbeat::default()
+                });
+            }
             match theory_result {
                 TheoryCheck::Consistent => {
                     snapshot(stats, sat);

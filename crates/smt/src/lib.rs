@@ -70,6 +70,7 @@ pub use simplex::PivotRule;
 pub use smtlib::to_smtlib;
 pub use solver::{Solver, SolverConfig, SolverProfile, SolverStats};
 pub use term::{Op, Sort, Term, TermId, TermManager};
+pub use theory::TheoryTelemetry;
 
 /// Parses the zero-padded lowercase-hex `u64` emitted by the build script.
 /// (`u64::from_str_radix` is not yet usable in const items; this is the

@@ -739,12 +739,19 @@ impl SatSolver {
         };
         let mut conflicts_here = 0u64;
         let mut conflicts_since_restart = 0u64;
+        // One trace span per search call, segmented at restarts; the guard's
+        // drop keeps Begin/End matched on every return path below.
+        let mut obs_span = ids_obs::SegmentedSpan::new("sat");
+        let heartbeat_every = ids_obs::heartbeat_interval();
         loop {
             if let Some(conf) = self.propagate() {
                 self.conflicts += 1;
                 self.conflicts_since_reduce += 1;
                 conflicts_here += 1;
                 conflicts_since_restart += 1;
+                if heartbeat_every != 0 && self.conflicts.is_multiple_of(heartbeat_every) {
+                    self.emit_heartbeat();
+                }
                 if conflicts_here > max_conflicts {
                     return SatResult::Unknown;
                 }
@@ -772,6 +779,10 @@ impl SatSolver {
                     conflicts_since_restart = 0;
                     restarts_here += 1;
                     self.restarts += 1;
+                    obs_span.restart(|| format!("restart {restarts_here}"));
+                    if heartbeat_every != 0 {
+                        self.emit_heartbeat();
+                    }
                     restart_limit = match self.options.restart {
                         RestartPolicy::Luby { unit } => unit.max(1) * luby(restarts_here + 1),
                         RestartPolicy::Geometric { .. } => restart_limit + restart_limit / 2,
@@ -872,6 +883,20 @@ impl SatSolver {
             .iter()
             .filter(|c| c.learned && !c.deleted)
             .count()
+    }
+
+    /// Delivers a liveness heartbeat with the core's cumulative counters to
+    /// the observer registered with [`ids_obs`] (called from the search loop
+    /// every [`ids_obs::heartbeat_interval`] conflicts and at each restart).
+    fn emit_heartbeat(&self) {
+        ids_obs::emit_heartbeat(ids_obs::Heartbeat {
+            conflicts: self.conflicts,
+            decisions: self.decisions,
+            propagations: self.propagations,
+            restarts: self.restarts,
+            learned: self.num_learned() as u64,
+            ..ids_obs::Heartbeat::default()
+        });
     }
 }
 

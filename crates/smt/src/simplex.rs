@@ -451,7 +451,19 @@ impl Simplex {
     }
 
     fn check_rational(&mut self) -> ArithOutcome {
+        let heartbeat_every = ids_obs::heartbeat_interval();
         loop {
+            // Liveness for pivot blow-ups: the conflict-based cadence is
+            // scaled up — pivots are much cheaper than SAT conflicts.
+            if heartbeat_every != 0
+                && self.pivots != 0
+                && self.pivots.is_multiple_of(heartbeat_every * 4)
+            {
+                ids_obs::emit_heartbeat(ids_obs::Heartbeat {
+                    pivots: self.pivots,
+                    ..ids_obs::Heartbeat::default()
+                });
+            }
             // Heuristic pivoting runs only while the hybrid rule's budget
             // lasts; afterwards every choice follows Bland's rule, which
             // cannot cycle, so the loop terminates under either rule.

@@ -108,52 +108,81 @@ impl SolverConfig {
 }
 
 /// Statistics of the last `check` call.
+///
+/// # Merge semantics
+///
+/// [`SolverStats::merge`] aggregates the stats of the many checks that
+/// discharge one method's VCs — possibly across *multiple* solver sessions
+/// (warm pools, repair passes). Every field carries one of exactly two rules,
+/// documented per field below:
+///
+/// * **sum** — effort counters and elapsed wall-clock times. Work done in two
+///   checks is the total of both, regardless of whether the checks shared a
+///   session; this includes `sat_time`/`theory_time` and the per-phase
+///   `lower_time`/`euf_time`/`simplex_time` splits.
+/// * **max** — point-in-time gauges. `learned_kept` and `max_lbd` describe
+///   solver *state*, not work; summing them across the checks of one warm
+///   session would double-count the same live clauses once per check, so
+///   merging keeps the largest observed value.
+///
+/// New fields must pick a rule here and extend the exhaustive
+/// `merge_rule_per_field` unit test, which destructures the struct so that an
+/// added field fails compilation until its rule is pinned.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SolverStats {
-    /// Theory check rounds performed.
+    /// Theory check rounds performed. Merge: **sum**.
     pub theory_rounds: u64,
-    /// SAT conflicts.
+    /// SAT conflicts. Merge: **sum**.
     pub sat_conflicts: u64,
-    /// SAT decisions.
+    /// SAT decisions. Merge: **sum**.
     pub sat_decisions: u64,
-    /// SAT unit propagations.
+    /// SAT unit propagations. Merge: **sum**.
     pub sat_propagations: u64,
     /// Number of clauses after CNF conversion (before learning).
+    /// Merge: **sum**.
     pub initial_clauses: u64,
-    /// Number of theory atoms.
+    /// Number of theory atoms. Merge: **sum**.
     pub atoms: u64,
-    /// Wall-clock time spent inside the SAT core.
+    /// Wall-clock time spent inside the SAT core. Merge: **sum**.
     pub sat_time: std::time::Duration,
-    /// Wall-clock time spent inside the theory checker.
+    /// Wall-clock time spent inside the theory checker (EUF + simplex +
+    /// conflict explanation). Merge: **sum**.
     pub theory_time: std::time::Duration,
+    /// Wall-clock time spent lowering assertions (set/array finite
+    /// instantiation) before CNF conversion. Merge: **sum**.
+    pub lower_time: std::time::Duration,
+    /// Wall-clock time of the EUF congruence passes (a component of
+    /// `theory_time`). Merge: **sum**.
+    pub euf_time: std::time::Duration,
+    /// Wall-clock time of the simplex passes (a component of `theory_time`).
+    /// Merge: **sum**.
+    pub simplex_time: std::time::Duration,
     /// Assertions answered from already-lowered session state (a warm solver
     /// pool's structure-scope prelude, or any re-asserted formula whose
     /// lowering and CNF encoding were still live). Always 0 for the batch
-    /// solver.
+    /// solver. Merge: **sum**.
     pub prelude_reused: u64,
     /// Assertions lowered and clause-converted fresh. Always 0 for the batch
-    /// solver (which does not count per-assertion reuse).
+    /// solver (which does not count per-assertion reuse). Merge: **sum**.
     pub prelude_lowered: u64,
-    /// SAT-core restarts.
+    /// SAT-core restarts. Merge: **sum**.
     pub restarts: u64,
     /// Live learned clauses at the end of the check (after any deletions).
-    /// A point-in-time gauge, not a counter: merging takes the maximum.
+    /// A point-in-time gauge, not a counter. Merge: **max**.
     pub learned_kept: u64,
-    /// Learned clauses deleted by clause-database reductions.
+    /// Learned clauses deleted by clause-database reductions. Merge: **sum**.
     pub learned_deleted: u64,
     /// Largest literal-block distance of any clause learned during the check.
+    /// A gauge. Merge: **max**.
     pub max_lbd: u64,
-    /// Simplex pivots performed across all theory rounds.
+    /// Simplex pivots performed across all theory rounds. Merge: **sum**.
     pub pivots: u64,
 }
 
 impl SolverStats {
-    /// Accumulates another stats record into this one (used to aggregate the
-    /// statistics of the many solver calls discharging one method's VCs).
-    /// Counters are summed; `max_lbd` and `learned_kept` — point-in-time
-    /// gauges, not counts — take the maximum (summing `learned_kept` across
-    /// the checks of one warm session would double-count the same live
-    /// clauses once per check).
+    /// Accumulates another stats record into this one following the per-field
+    /// rules documented on [`SolverStats`]: counters and times are summed;
+    /// the `learned_kept` and `max_lbd` gauges take the maximum.
     pub fn merge(&mut self, other: &SolverStats) {
         self.theory_rounds += other.theory_rounds;
         self.sat_conflicts += other.sat_conflicts;
@@ -163,6 +192,9 @@ impl SolverStats {
         self.atoms += other.atoms;
         self.sat_time += other.sat_time;
         self.theory_time += other.theory_time;
+        self.lower_time += other.lower_time;
+        self.euf_time += other.euf_time;
+        self.simplex_time += other.simplex_time;
         self.prelude_reused += other.prelude_reused;
         self.prelude_lowered += other.prelude_lowered;
         self.restarts += other.restarts;
@@ -244,10 +276,18 @@ impl Solver {
             .filter(|&a| !contains_forall(tm, a))
             .collect();
 
-        let roots = lower(tm, &assertions);
+        let lower_start = std::time::Instant::now();
+        let roots = {
+            let _obs = ids_obs::span("lower");
+            lower(tm, &assertions)
+        };
+        self.stats.lower_time = lower_start.elapsed();
 
         let mut sat = SatSolver::with_options(self.config.sat);
-        let atom_map: AtomMap = tseitin(tm, &roots, &mut sat);
+        let atom_map: AtomMap = {
+            let _obs = ids_obs::span("cnf");
+            tseitin(tm, &roots, &mut sat)
+        };
         self.stats.initial_clauses = sat.num_clauses() as u64;
         self.stats.atoms = atom_map.atom_of_var.len() as u64;
 
@@ -281,9 +321,23 @@ impl Solver {
             }
             let literals = atom_map.model_literals(&sat);
             let theory_start = std::time::Instant::now();
-            let (theory_result, pivots) = checker.check_with(tm, &literals, self.config.pivot);
+            let (theory_result, theory_tel) = checker.check_with(tm, &literals, self.config.pivot);
             self.stats.theory_time += theory_start.elapsed();
-            self.stats.pivots += pivots;
+            self.stats.pivots += theory_tel.pivots;
+            self.stats.euf_time += theory_tel.euf_time;
+            self.stats.simplex_time += theory_tel.simplex_time;
+            if ids_obs::heartbeat_interval() != 0 {
+                ids_obs::emit_heartbeat(ids_obs::Heartbeat {
+                    conflicts: sat.conflicts,
+                    decisions: sat.decisions,
+                    propagations: sat.propagations,
+                    restarts: sat.restarts,
+                    learned: sat.num_learned() as u64,
+                    theory_rounds: self.stats.theory_rounds,
+                    pivots: self.stats.pivots,
+                    ..ids_obs::Heartbeat::default()
+                });
+            }
             match theory_result {
                 TheoryCheck::Consistent => {
                     self.snapshot_sat(&sat);
@@ -506,6 +560,84 @@ mod tests {
         );
         assert_eq!(acc.pivots, stats.pivots + s2.stats().pivots);
         assert_eq!(acc.max_lbd, stats.max_lbd.max(s2.stats().max_lbd).max(1));
+    }
+
+    /// Pins the merge rule of *every* `SolverStats` field: counters and
+    /// elapsed times sum, the `learned_kept`/`max_lbd` gauges take the max.
+    /// The struct is fully destructured, so adding a field without choosing
+    /// (and asserting) its rule here is a compile error.
+    #[test]
+    fn merge_rule_per_field() {
+        use std::time::Duration;
+
+        let ms = Duration::from_millis;
+        let mk = |seed: u64| SolverStats {
+            theory_rounds: seed,
+            sat_conflicts: seed + 1,
+            sat_decisions: seed + 2,
+            sat_propagations: seed + 3,
+            initial_clauses: seed + 4,
+            atoms: seed + 5,
+            sat_time: ms(seed + 6),
+            theory_time: ms(seed + 7),
+            lower_time: ms(seed + 8),
+            euf_time: ms(seed + 9),
+            simplex_time: ms(seed + 10),
+            prelude_reused: seed + 11,
+            prelude_lowered: seed + 12,
+            restarts: seed + 13,
+            learned_kept: seed + 14,
+            learned_deleted: seed + 15,
+            max_lbd: seed + 16,
+            pivots: seed + 17,
+        };
+        let (a, b) = (mk(100), mk(5));
+        let mut merged = a;
+        merged.merge(&b);
+        let SolverStats {
+            theory_rounds,
+            sat_conflicts,
+            sat_decisions,
+            sat_propagations,
+            initial_clauses,
+            atoms,
+            sat_time,
+            theory_time,
+            lower_time,
+            euf_time,
+            simplex_time,
+            prelude_reused,
+            prelude_lowered,
+            restarts,
+            learned_kept,
+            learned_deleted,
+            max_lbd,
+            pivots,
+        } = merged;
+        // Sums: effort counters and wall-clock times.
+        assert_eq!(theory_rounds, a.theory_rounds + b.theory_rounds);
+        assert_eq!(sat_conflicts, a.sat_conflicts + b.sat_conflicts);
+        assert_eq!(sat_decisions, a.sat_decisions + b.sat_decisions);
+        assert_eq!(sat_propagations, a.sat_propagations + b.sat_propagations);
+        assert_eq!(initial_clauses, a.initial_clauses + b.initial_clauses);
+        assert_eq!(atoms, a.atoms + b.atoms);
+        assert_eq!(sat_time, a.sat_time + b.sat_time);
+        assert_eq!(theory_time, a.theory_time + b.theory_time);
+        assert_eq!(lower_time, a.lower_time + b.lower_time);
+        assert_eq!(euf_time, a.euf_time + b.euf_time);
+        assert_eq!(simplex_time, a.simplex_time + b.simplex_time);
+        assert_eq!(prelude_reused, a.prelude_reused + b.prelude_reused);
+        assert_eq!(prelude_lowered, a.prelude_lowered + b.prelude_lowered);
+        assert_eq!(restarts, a.restarts + b.restarts);
+        assert_eq!(learned_deleted, a.learned_deleted + b.learned_deleted);
+        assert_eq!(pivots, a.pivots + b.pivots);
+        // Gauges: merge must keep the maximum, in either merge order.
+        assert_eq!(learned_kept, a.learned_kept.max(b.learned_kept));
+        assert_eq!(max_lbd, a.max_lbd.max(b.max_lbd));
+        let mut reversed = b;
+        reversed.merge(&a);
+        assert_eq!(reversed.learned_kept, learned_kept);
+        assert_eq!(reversed.max_lbd, max_lbd);
     }
 
     #[test]

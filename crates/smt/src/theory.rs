@@ -121,6 +121,8 @@ impl TheoryChecker {
         if fresh.is_empty() {
             return;
         }
+        let mut obs_span = ids_obs::span("theory_extend");
+        obs_span.note(|| format!("atoms={}", fresh.len()));
         self.template.extend(tm, &fresh);
         for &atom in &fresh {
             let term = tm.term(atom);
@@ -157,17 +159,20 @@ impl TheoryChecker {
     }
 
     /// Like [`TheoryChecker::check`], but with an explicit simplex pivot rule
-    /// and returning the number of simplex pivots performed (the `pivots`
-    /// telemetry of [`crate::SolverStats`]).
+    /// and returning the per-theory telemetry of the check (the `pivots` and
+    /// `euf_time`/`simplex_time` fields of [`crate::SolverStats`]).
     pub fn check_with(
         &self,
         tm: &TermManager,
         literals: &[(TermId, bool)],
         pivot: PivotRule,
-    ) -> (TheoryCheck, u64) {
+    ) -> (TheoryCheck, TheoryTelemetry) {
         let (tru, fls) = (self.tru, self.fls);
+        let mut tel = TheoryTelemetry::default();
 
         // ------------------------------------------------------------- EUF pass
+        let euf_start = std::time::Instant::now();
+        let euf_span = ids_obs::span("euf");
         let mut euf = Euf::with_template(tm, &self.template);
         euf.assert_neq(tru, fls, AXIOM_TAG);
 
@@ -233,16 +238,21 @@ impl TheoryChecker {
 
         match euf.check() {
             EufOutcome::Conflict(tags) => {
-                return (TheoryCheck::Conflict(clean_tags(tags)), 0);
+                tel.euf_time = euf_start.elapsed();
+                return (TheoryCheck::Conflict(clean_tags(tags)), tel);
             }
             EufOutcome::Consistent => {}
         }
+        drop(euf_span);
+        tel.euf_time = euf_start.elapsed();
 
         // ------------------------------------------------------ arithmetic pass
         if arith_lits.is_empty() {
-            return (TheoryCheck::Consistent, 0);
+            return (TheoryCheck::Consistent, tel);
         }
 
+        let simplex_start = std::time::Instant::now();
+        let mut simplex_span = ids_obs::span("simplex");
         let mut simplex = Simplex::with_rule(pivot);
         let mut var_of_term: FxHashMap<TermId, usize> = FxHashMap::default();
         // Tags >= DERIVED_BASE refer to EUF-derived equalities; their explanation
@@ -289,7 +299,10 @@ impl TheoryChecker {
             }
         }
         if let Some(tags) = load_error {
-            return (conflict_from(tags, &derived_explanations), simplex.pivots);
+            simplex_span.note(|| format!("pivots={}", simplex.pivots));
+            tel.pivots = simplex.pivots;
+            tel.simplex_time = simplex_start.elapsed();
+            return (conflict_from(tags, &derived_explanations), tel);
         }
 
         // Propagate EUF-derived equalities between numeric atom terms.
@@ -312,7 +325,10 @@ impl TheoryChecker {
                 let mut expr = LinExpr::variable(var_of_term[&a]);
                 expr.add_term(-Rat::ONE, var_of_term[&b]);
                 if let Err(tags) = simplex.add_constraint(&expr, Rel::Eq, derived_tag) {
-                    return (conflict_from(tags, &derived_explanations), simplex.pivots);
+                    simplex_span.note(|| format!("pivots={}", simplex.pivots));
+                    tel.pivots = simplex.pivots;
+                    tel.simplex_time = simplex_start.elapsed();
+                    return (conflict_from(tags, &derived_explanations), tel);
                 }
             }
         }
@@ -322,8 +338,23 @@ impl TheoryChecker {
             ArithOutcome::Conflict(tags) => conflict_from(tags, &derived_explanations),
             ArithOutcome::Unknown => TheoryCheck::Unknown,
         };
-        (outcome, simplex.pivots)
+        simplex_span.note(|| format!("pivots={}", simplex.pivots));
+        tel.pivots = simplex.pivots;
+        tel.simplex_time = simplex_start.elapsed();
+        (outcome, tel)
     }
+}
+
+/// Per-theory telemetry of one [`TheoryChecker::check_with`] call, folded
+/// into [`crate::SolverStats`] by the DPLL(T) loops.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TheoryTelemetry {
+    /// Simplex pivots performed (0 when the arithmetic pass did not run).
+    pub pivots: u64,
+    /// Wall-clock time of the EUF congruence pass.
+    pub euf_time: std::time::Duration,
+    /// Wall-clock time of the simplex pass (zero when it did not run).
+    pub simplex_time: std::time::Duration,
 }
 
 /// Checks the conjunction of `literals` (atom term, polarity) for consistency.

@@ -238,6 +238,8 @@ impl VcSession {
             self.asserted == 0 && self.prelude == 0 && self.methods_begun == 0,
             "assert_prelude must come first"
         );
+        let mut obs_span = ids_obs::span("prelude");
+        obs_span.note(|| format!("hypotheses={prelude_len}"));
         for &h in &hypotheses[..prelude_len] {
             self.solver.assert(tm, h);
         }
@@ -252,6 +254,7 @@ impl VcSession {
     /// [`VcSession::end_method`]; the prelude asserted via
     /// [`VcSession::assert_prelude`] stays warm across methods.
     pub fn begin_method(&mut self) {
+        ids_obs::instant("method_scope_begin");
         self.solver.push_method_scope();
         self.asserted = self.prelude;
         if self.methods_begun > 0 {
@@ -264,6 +267,7 @@ impl VcSession {
 
     /// Closes the current method's scope (see [`VcSession::begin_method`]).
     pub fn end_method(&mut self) {
+        ids_obs::instant("method_scope_end");
         self.solver.pop_method_scope();
         self.asserted = self.prelude;
     }

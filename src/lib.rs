@@ -15,7 +15,10 @@
 //! * [`structures`] — the benchmark suite of intrinsically defined data
 //!   structures (Table 2 of the paper),
 //! * [`driver`] — the parallel batch-verification engine with its persistent
-//!   VC cache (the `ids-verify` CLI front end lives in that crate).
+//!   VC cache (the `ids-verify` CLI front end lives in that crate),
+//! * [`obs`] — the zero-dependency tracing/metrics layer (span timelines,
+//!   Chrome-trace export, progress heartbeats) threaded through all of the
+//!   above.
 
 #![forbid(unsafe_code)]
 
@@ -23,6 +26,7 @@ pub use ids_core as core;
 pub use ids_driver as driver;
 pub use ids_heap as heap;
 pub use ids_ivl as ivl;
+pub use ids_obs as obs;
 pub use ids_smt as smt;
 pub use ids_structures as structures;
 pub use ids_vcgen as vcgen;

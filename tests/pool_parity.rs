@@ -268,3 +268,97 @@ fn solver_profiles_agree_and_share_cache_keys() {
         assert_eq!(default.stats.skipped_vcs, legacy.stats.skipped_vcs);
     }
 }
+
+/// Observability parity: arming tracing plus a heartbeat observer must not
+/// change a single report field — verdicts, per-VC rows and every driver
+/// counter are identical with the observer on and off, in every pool mode
+/// and under both solver profiles. (Verdict parity is what licenses leaving
+/// the instrumentation compiled into release builds.)
+#[test]
+fn observer_on_and_off_produce_identical_reports() {
+    use intrinsic_verify::obs;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    struct Counting(AtomicU64);
+    impl obs::RunObserver for Counting {
+        fn heartbeat(&self, _hb: &obs::Heartbeat) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let ids = list_ids();
+    let methods: Vec<String> = METHOD_NAMES.iter().map(|m| m.to_string()).collect();
+    let selection = Selection {
+        name: "acyclic-list",
+        definition: &ids,
+        methods_src: METHODS_SRC,
+        methods,
+    };
+    // jobs: 1 — inline execution makes skip/cancellation counts exact, so
+    // the comparison below can demand equality on every field.
+    let run = |mode: PoolMode, profile: SolverProfile| {
+        verify_selections(
+            std::slice::from_ref(&selection),
+            &DriverConfig {
+                jobs: 1,
+                pool_mode: mode,
+                cache_path: None,
+                solver_profile: profile,
+                ..DriverConfig::default()
+            },
+        )
+    };
+
+    for mode in [PoolMode::Structure, PoolMode::Method, PoolMode::None] {
+        for profile in [SolverProfile::Default, SolverProfile::Legacy] {
+            let off = run(mode, profile);
+
+            let counter = Arc::new(Counting(AtomicU64::new(0)));
+            obs::trace_start();
+            obs::set_heartbeat_conflicts(1);
+            obs::set_observer(Some(counter.clone()));
+            let on = run(mode, profile);
+            obs::set_observer(None);
+            obs::set_heartbeat_conflicts(0);
+            let lanes = obs::trace_stop();
+
+            let label = format!("{:?}/{:?}", mode, profile);
+            assert!(
+                counter.0.load(Ordering::Relaxed) > 0,
+                "{}: observer never fired",
+                label
+            );
+            assert!(
+                lanes.iter().map(|l| l.events.len()).sum::<usize>() > 0,
+                "{}: tracing captured no events",
+                label
+            );
+
+            assert!(off.errors.is_empty() && on.errors.is_empty(), "{}", label);
+            assert_eq!(off.reports.len(), on.reports.len(), "{}", label);
+            for (a, b) in off.reports.iter().zip(&on.reports) {
+                assert_eq!(a.method, b.method, "{}", label);
+                assert_eq!(
+                    a.outcome, b.outcome,
+                    "{}: {} diverged under observation",
+                    label, a.method
+                );
+                assert_eq!(a.num_vcs, b.num_vcs, "{}", label);
+                assert_eq!(a.cached_vcs, b.cached_vcs, "{}", label);
+                assert_eq!(a.vc_reports.len(), b.vc_reports.len(), "{}", label);
+                for (va, vb) in a.vc_reports.iter().zip(&b.vc_reports) {
+                    assert_eq!(va.vc_index, vb.vc_index, "{}", label);
+                    assert_eq!(va.description, vb.description, "{}", label);
+                    assert_eq!(va.verdict, vb.verdict, "{}", label);
+                    assert_eq!(va.cached, vb.cached, "{}", label);
+                }
+            }
+            assert_eq!(off.stats.vcs, on.stats.vcs, "{}", label);
+            assert_eq!(off.stats.smt_queries, on.stats.smt_queries, "{}", label);
+            assert_eq!(off.stats.cache_hits, on.stats.cache_hits, "{}", label);
+            assert_eq!(off.stats.skipped_vcs, on.stats.skipped_vcs, "{}", label);
+            assert_eq!(off.stats.cancellations, on.stats.cancellations, "{}", label);
+        }
+    }
+}
