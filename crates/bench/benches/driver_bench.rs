@@ -117,9 +117,11 @@ fn bench_driver(c: &mut Criterion) {
 
     // The observability overhead pair: the same single-method run with the
     // subsystem disarmed (the shipping default — one relaxed atomic load per
-    // would-be event) vs fully armed (tracing buffers + a heartbeat observer
-    // firing every 1024 conflicts). The pair pins the "near-zero overhead
-    // when disabled" claim; `observer_on` bounds the cost of `--trace`.
+    // would-be event, histogram and flight-recorder hooks included) vs fully
+    // armed (tracing buffers + a heartbeat observer firing every 1024
+    // conflicts + the metrics histograms/ring buffer). The pair pins the
+    // "near-zero overhead when disabled" claim; `observer_on` bounds the
+    // combined cost of `--trace` + `--ledger` instrumentation.
     group.bench_function("observer_off", |b| {
         let selections = sll_selection(&ids, &methods);
         let config = DriverConfig {
@@ -149,14 +151,23 @@ fn bench_driver(c: &mut Criterion) {
         };
         ids_obs::set_heartbeat_conflicts(1024);
         ids_obs::set_observer(Some(std::sync::Arc::new(Sink)));
+        ids_obs::set_metrics(true);
         b.iter(|| {
             ids_obs::trace_start();
             let batch = verify_selections(&selections, &config);
             assert!(batch.errors.is_empty());
+            let hist_events: u64 = batch
+                .reports
+                .iter()
+                .flat_map(|r| &r.vc_reports)
+                .flat_map(|vc| ids_obs::Metric::ALL.map(|m| vc.hists.get(m).count()))
+                .sum();
+            std::hint::black_box(hist_events);
             let lanes = ids_obs::trace_stop();
             std::hint::black_box(lanes.len());
             batch.reports.len()
         });
+        ids_obs::set_metrics(false);
         ids_obs::set_observer(None);
         ids_obs::set_heartbeat_conflicts(0);
     });

@@ -133,16 +133,26 @@ pub struct MethodReport {
 pub struct VcReport {
     /// Index of the VC inside its method.
     pub vc_index: usize,
+    /// Stable content-addressed identity of the VC ([`MethodTask::vc_key`]),
+    /// the join key the run ledger uses across machines and PRs.
+    pub vc_key: u128,
     /// Human-readable description of the VC.
     pub description: String,
     /// The verdict.
     pub verdict: VcVerdict,
-    /// Wall-clock time spent answering this VC (zero for cached results).
+    /// Wall-clock time spent *solving* this VC (zero for cached results);
+    /// excludes queue time.
     pub wall_time: Duration,
+    /// Time the VC spent queued behind other work before its solve started
+    /// (zero in the sequential pipeline and for cached results).
+    pub queue_time: Duration,
     /// True if the result came from a cache instead of a solver run.
     pub cached: bool,
     /// Solver statistics of the query (zeroed for cached results).
     pub solver: SolverStats,
+    /// Per-VC solver-dynamics histograms (empty unless metrics were armed
+    /// via [`ids_obs::set_metrics`], and for cached results).
+    pub hists: ids_obs::HistogramSet,
 }
 
 /// The verdict of one verification condition.
@@ -165,10 +175,15 @@ pub struct VcResult {
     pub verdict: VcVerdict,
     /// Solver statistics of the query (zeroed for cached results).
     pub stats: SolverStats,
-    /// Wall-clock time of the query.
+    /// Wall-clock time of the solve itself.
     pub time: Duration,
+    /// Time spent queued before the solve started (filled in by the batch
+    /// driver; zero in the sequential pipeline).
+    pub queue_time: Duration,
     /// True if the result came from a cache instead of a solver run.
     pub cached: bool,
+    /// Per-VC solver-dynamics histograms (empty unless metrics are armed).
+    pub hists: ids_obs::HistogramSet,
 }
 
 impl VcResult {
@@ -179,7 +194,9 @@ impl VcResult {
             verdict,
             stats: SolverStats::default(),
             time: Duration::ZERO,
+            queue_time: Duration::ZERO,
             cached: true,
+            hists: ids_obs::HistogramSet::default(),
         }
     }
 }
@@ -270,6 +287,8 @@ impl MethodTask {
             verdict,
             stats,
             time: start.elapsed(),
+            queue_time: Duration::ZERO,
+            hists: ids_obs::vc_take(),
             cached: false,
         }
     }
@@ -333,11 +352,14 @@ impl MethodTask {
             }
             vc_reports.push(VcReport {
                 vc_index: r.vc_index,
+                vc_key: self.vc_key(r.vc_index),
                 description: self.vcs[r.vc_index].description.clone(),
                 verdict: r.verdict,
                 wall_time: r.time,
+                queue_time: r.queue_time,
                 cached: r.cached,
                 solver: r.stats,
+                hists: r.hists.clone(),
             });
         }
         for r in &ordered {
@@ -385,6 +407,9 @@ impl VcObsScope {
         if ids_obs::active() {
             ids_obs::set_task(Some(description.to_string()));
         }
+        // Opens this VC on the thread's flight recorder (histograms + ring
+        // buffer); the check site drains it with `ids_obs::vc_take()`.
+        ids_obs::vc_begin(description);
         VcObsScope {
             _span: ids_obs::span_with("vc", || description.to_string()),
         }
@@ -448,7 +473,9 @@ impl<'a> MethodSession<'a> {
             verdict,
             stats,
             time: start.elapsed(),
+            queue_time: Duration::ZERO,
             cached: false,
+            hists: ids_obs::vc_take(),
         }
     }
 }
@@ -602,7 +629,9 @@ impl StructureSession {
             verdict,
             stats,
             time: start.elapsed(),
+            queue_time: Duration::ZERO,
             cached: false,
+            hists: ids_obs::vc_take(),
         }
     }
 

@@ -51,6 +51,7 @@
 
 pub mod cache;
 pub mod json;
+pub mod ledger;
 pub mod pool;
 
 use std::collections::BTreeMap;
@@ -125,6 +126,10 @@ pub struct DriverConfig {
     /// cache keys and dedup behaviour are byte-identical across profiles;
     /// only solve times and solver-internal telemetry differ.
     pub solver_profile: SolverProfile,
+    /// Optional path of the run-ledger JSONL file; every batch appends one
+    /// schema-versioned [`ledger::RunRecord`] line (see [`ledger`]). `None`
+    /// disables longitudinal recording.
+    pub ledger_path: Option<PathBuf>,
 }
 
 impl Default for DriverConfig {
@@ -137,6 +142,7 @@ impl Default for DriverConfig {
             cache_path: None,
             pool_mode: PoolMode::default(),
             solver_profile: SolverProfile::default(),
+            ledger_path: None,
         }
     }
 }
@@ -367,6 +373,11 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
     // method is not already refuted, so a cancellation cannot starve a
     // sibling method that shares the formula.
     let solve_span = ids_obs::span("solve");
+    // Every pending VC is enqueued now; the gap between this instant and the
+    // moment a worker actually starts a VC is that VC's queue time
+    // (`VcResult::queue_time`) — scheduler imbalance, as opposed to solver
+    // cost.
+    let solve_start = Instant::now();
     let jobs: Vec<(u128, usize, usize)> = pending
         .iter()
         .filter_map(|(&key, sites)| {
@@ -411,7 +422,9 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
                 out.push((key, ti, vi, None));
                 continue;
             }
-            let result = check(vi);
+            let started = Instant::now();
+            let mut result = check(vi);
+            result.queue_time = started.duration_since(solve_start);
             if result.verdict == ids_core::pipeline::VcVerdict::Refuted {
                 cancelled_ref
                     .lock()
@@ -498,7 +511,9 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
                 note_cancellation(ti, vi, since);
                 return (key, ti, vi, None);
             }
-            let result = tasks_ref[ti].check_vc(vi);
+            let started = Instant::now();
+            let mut result = tasks_ref[ti].check_vc(vi);
+            result.queue_time = started.duration_since(solve_start);
             if result.verdict == ids_core::pipeline::VcVerdict::Refuted {
                 cancelled_ref
                     .lock()
@@ -610,6 +625,21 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
         reports.push(report);
     }
     stats.wall = start.elapsed();
+
+    // ------------------------------------------------------- ledger stage
+    // Longitudinal record: one schema-versioned JSONL line per run, keyed by
+    // the same stable vc_keys the cache uses, so runs are joinable across
+    // machines and PRs (`ids-verify compare` / `history`).
+    if let Some(path) = &config.ledger_path {
+        let record = ledger::RunRecord::from_batch(&tasks, &reports, &stats, config);
+        if let Err(e) = ledger::append_run(path, &record) {
+            eprintln!(
+                "warning: could not append run ledger {}: {}",
+                path.display(),
+                e
+            );
+        }
+    }
 
     BatchReport {
         reports,

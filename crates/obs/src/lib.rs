@@ -18,20 +18,28 @@
 //!   SAT search and simplex loops every [`heartbeat_interval`] conflicts (and
 //!   at every restart), carrying live counters plus the innermost span name,
 //!   so long-running VCs are diagnosable mid-flight.
+//! * **Metrics** — mergeable log-bucketed [`Histogram`]s (restart-segment
+//!   duration, theory-round duration, pivots per round, conflict
+//!   inter-arrival) recorded per VC via [`record_metric`], plus a per-thread
+//!   *flight recorder*: a ring buffer of recent [`Heartbeat`] snapshots that
+//!   [`stuck_dossiers`] turns into a diagnosable dossier when a VC exceeds a
+//!   watchdog deadline (or the run is interrupted). Armed separately from
+//!   tracing via [`set_metrics`].
 //!
-//! **Overhead contract**: with tracing off and no observer installed, every
-//! entry point reduces to one relaxed atomic load and an immediate return —
-//! no allocation, no locks, no clock reads. Instrumented code must not change
-//! behavior either way; the driver's parity tests pin byte-identical verdicts
-//! with the observer enabled vs disabled.
+//! **Overhead contract**: with tracing off, no observer installed, and
+//! metrics disarmed, every entry point reduces to one relaxed atomic load and
+//! an immediate return — no allocation, no locks, no clock reads.
+//! Instrumented code must not change behavior either way; the driver's parity
+//! tests pin byte-identical verdicts with the observer enabled vs disabled.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------- global state
 
@@ -42,6 +50,12 @@ static TRACING: AtomicBool = AtomicBool::new(false);
 static ACTIVE: AtomicBool = AtomicBool::new(false);
 /// Heartbeat cadence in SAT conflicts (0 = heartbeats off).
 static HEARTBEAT_CONFLICTS: AtomicU64 = AtomicU64::new(0);
+/// Per-VC metrics (histograms + flight recorder) on/off; the single relaxed
+/// load on every [`record_metric`] disarmed fast path.
+static METRICS: AtomicBool = AtomicBool::new(false);
+/// Every thread that ever recorded a metric registers its flight recorder
+/// here so watchdogs on other threads can inspect in-flight VCs.
+static RECORDERS: Mutex<Vec<Arc<Mutex<Recorder>>>> = Mutex::new(Vec::new());
 /// The installed progress observer, if any.
 static OBSERVER: RwLock<Option<Arc<dyn RunObserver>>> = RwLock::new(None);
 /// Process-wide clock epoch; all event timestamps are microseconds since it.
@@ -81,7 +95,7 @@ fn register_thread() -> Arc<Mutex<ThreadBuf>> {
 fn refresh_active() {
     let observing = OBSERVER.read().map(|o| o.is_some()).unwrap_or(false);
     ACTIVE.store(
-        TRACING.load(Ordering::Relaxed) || observing,
+        TRACING.load(Ordering::Relaxed) || observing || METRICS.load(Ordering::Relaxed),
         Ordering::Relaxed,
     );
 }
@@ -344,16 +358,19 @@ pub fn heartbeat_interval() -> u64 {
     HEARTBEAT_CONFLICTS.load(Ordering::Relaxed)
 }
 
-/// Delivers a heartbeat to the installed observer, filling in the emitting
-/// thread's task label and current phase. No-op without an observer.
+/// Delivers a heartbeat to the installed observer (and, when metrics are
+/// armed, to this thread's flight-recorder ring), filling in the emitting
+/// thread's task label and current phase. No-op without an observer or armed
+/// metrics.
 pub fn emit_heartbeat(mut hb: Heartbeat) {
+    let recording = metrics_active();
     let observer = {
         let guard = OBSERVER.read().expect("obs observer");
         guard.clone()
     };
-    let Some(observer) = observer else {
+    if observer.is_none() && !recording {
         return;
-    };
+    }
     hb.task = TASK
         .try_with(|t| t.borrow().clone())
         .ok()
@@ -364,7 +381,435 @@ pub fn emit_heartbeat(mut hb: Heartbeat) {
         .ok()
         .flatten()
         .unwrap_or(hb.phase);
-    observer.heartbeat(&hb);
+    if recording {
+        let ts = now_us();
+        let _ = RECORDER.try_with(|r| {
+            let mut rec = r.lock().expect("obs recorder");
+            if rec.task.is_some() {
+                if rec.ring.len() == RING_CAP {
+                    rec.ring.pop_front();
+                }
+                rec.ring.push_back((ts, hb.clone()));
+            }
+        });
+    }
+    if let Some(observer) = observer {
+        observer.heartbeat(&hb);
+    }
+}
+
+// ------------------------------------------------------- histograms & metrics
+
+/// The per-VC solver-dynamics metrics collected into [`Histogram`]s.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Metric {
+    /// Wall time of one SAT restart segment, in microseconds.
+    RestartSegmentUs = 0,
+    /// Wall time of one DPLL(T) theory round, in microseconds.
+    TheoryRoundUs = 1,
+    /// Simplex pivots performed in one theory round.
+    PivotsPerRound = 2,
+    /// Wall time between consecutive SAT conflicts, in microseconds.
+    ConflictGapUs = 3,
+}
+
+/// Number of [`Metric`] kinds (the arity of a [`HistogramSet`]).
+pub const METRIC_COUNT: usize = 4;
+
+impl Metric {
+    /// All metric kinds, in `HistogramSet` storage order.
+    pub const ALL: [Metric; METRIC_COUNT] = [
+        Metric::RestartSegmentUs,
+        Metric::TheoryRoundUs,
+        Metric::PivotsPerRound,
+        Metric::ConflictGapUs,
+    ];
+
+    /// Stable snake_case name used in JSON/ledger output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::RestartSegmentUs => "restart_segment_us",
+            Metric::TheoryRoundUs => "theory_round_us",
+            Metric::PivotsPerRound => "pivots_per_round",
+            Metric::ConflictGapUs => "conflict_gap_us",
+        }
+    }
+
+    /// Parses a [`Metric::name`] back to the metric (for ledger readers).
+    pub fn from_name(name: &str) -> Option<Metric> {
+        Metric::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+/// Number of log2 buckets per histogram; bucket `i` counts values whose
+/// `floor(log2(v))` is `i` (values `0` and `1` both land in bucket 0), with
+/// everything at or beyond `2^31` clamped into the last bucket.
+pub const HIST_BUCKETS: usize = 32;
+
+/// A mergeable log-bucketed histogram over `u64` samples.
+///
+/// Buckets are powers of two, which keeps `record` allocation-free and makes
+/// merging across VCs, methods, and runs a plain vector add — the property
+/// the run ledger needs to aggregate per-VC dynamics into per-run summaries
+/// without keeping raw samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    fn bucket_index(v: u64) -> usize {
+        let idx = 63 - (v | 1).leading_zeros() as usize;
+        idx.min(HIST_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 <= q <= 1.0`); returns 0 for an empty histogram. Resolution is
+    /// the bucket width (one octave), which is plenty for phase attribution.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The raw bucket counts (log2 buckets, see [`HIST_BUCKETS`]).
+    pub fn bucket_counts(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from previously-exported parts (ledger readers).
+    /// `buckets` longer than [`HIST_BUCKETS`] is truncated, shorter is
+    /// zero-extended; `count`/`sum`/`max` are trusted as recorded.
+    pub fn from_parts(buckets: &[u64], count: u64, sum: u64, max: u64) -> Histogram {
+        let mut h = Histogram {
+            count,
+            sum,
+            max,
+            ..Histogram::default()
+        };
+        for (dst, src) in h.buckets.iter_mut().zip(buckets.iter()) {
+            *dst = *src;
+        }
+        h
+    }
+}
+
+/// Inclusive upper bound of log2 bucket `i` (`2^(i+1) - 1`).
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// One [`Histogram`] per [`Metric`]; the unit of per-VC metric collection and
+/// of merging up the report tree (VC → method → run).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSet {
+    hists: [Histogram; METRIC_COUNT],
+}
+
+impl HistogramSet {
+    /// Records one sample for `metric`.
+    pub fn record(&mut self, metric: Metric, v: u64) {
+        self.hists[metric as usize].record(v);
+    }
+
+    /// Folds another set into this one, metric by metric.
+    pub fn merge(&mut self, other: &HistogramSet) {
+        for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
+            h.merge(o);
+        }
+    }
+
+    /// The histogram for `metric`.
+    pub fn get(&self, metric: Metric) -> &Histogram {
+        &self.hists[metric as usize]
+    }
+
+    /// Mutable access for `metric` (ledger readers reassembling a set).
+    pub fn get_mut(&mut self, metric: Metric) -> &mut Histogram {
+        &mut self.hists[metric as usize]
+    }
+
+    /// True when every histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hists.iter().all(Histogram::is_empty)
+    }
+}
+
+/// How many heartbeat snapshots the per-thread flight recorder retains.
+pub const RING_CAP: usize = 64;
+
+/// Per-thread flight-recorder state: which VC this thread is solving, since
+/// when, the trailing [`Heartbeat`] ring, and the VC's histograms.
+struct Recorder {
+    label: String,
+    task: Option<String>,
+    started_us: u64,
+    ring: VecDeque<(u64, Heartbeat)>,
+    hists: HistogramSet,
+    dumped: bool,
+}
+
+thread_local! {
+    static RECORDER: Arc<Mutex<Recorder>> = register_recorder();
+}
+
+fn register_recorder() -> Arc<Mutex<Recorder>> {
+    let label = BUF
+        .try_with(|b| b.lock().expect("obs thread buffer").label.clone())
+        .unwrap_or_else(|_| "thread-?".to_string());
+    let rec = Arc::new(Mutex::new(Recorder {
+        label,
+        task: None,
+        started_us: 0,
+        ring: VecDeque::with_capacity(RING_CAP),
+        hists: HistogramSet::default(),
+        dumped: false,
+    }));
+    RECORDERS
+        .lock()
+        .expect("obs recorders")
+        .push(Arc::clone(&rec));
+    rec
+}
+
+/// Arms (or disarms) per-VC metrics: histogram recording and the heartbeat
+/// flight recorder. Disarmed, [`record_metric`] is one relaxed load.
+pub fn set_metrics(on: bool) {
+    METRICS.store(on, Ordering::Relaxed);
+    refresh_active();
+}
+
+/// True while per-VC metrics are being collected. This is the single relaxed
+/// load on the disarmed [`record_metric`] fast path.
+pub fn metrics_active() -> bool {
+    METRICS.load(Ordering::Relaxed)
+}
+
+/// Records one metric sample against the VC currently open on this thread.
+/// No-op (one relaxed load) while metrics are disarmed.
+pub fn record_metric(metric: Metric, v: u64) {
+    if !metrics_active() {
+        return;
+    }
+    let _ = RECORDER.try_with(|r| r.lock().expect("obs recorder").hists.record(metric, v));
+}
+
+/// Marks the start of a VC on this thread: resets this thread's flight
+/// recorder (ring, histograms, dump latch) and stamps the task label and
+/// start time the watchdog ages against. No-op while metrics are disarmed.
+pub fn vc_begin(task: &str) {
+    if !metrics_active() {
+        return;
+    }
+    let ts = now_us();
+    let label = BUF
+        .try_with(|b| b.lock().expect("obs thread buffer").label.clone())
+        .unwrap_or_else(|_| "thread-?".to_string());
+    let _ = RECORDER.try_with(|r| {
+        let mut rec = r.lock().expect("obs recorder");
+        rec.label = label;
+        rec.task = Some(task.to_string());
+        rec.started_us = ts;
+        rec.ring.clear();
+        rec.hists = HistogramSet::default();
+        rec.dumped = false;
+    });
+}
+
+/// Closes the VC opened by [`vc_begin`] on this thread and returns its
+/// collected histograms (empty while metrics are disarmed).
+pub fn vc_take() -> HistogramSet {
+    if !metrics_active() {
+        return HistogramSet::default();
+    }
+    RECORDER
+        .try_with(|r| {
+            let mut rec = r.lock().expect("obs recorder");
+            rec.task = None;
+            rec.ring.clear();
+            std::mem::take(&mut rec.hists)
+        })
+        .unwrap_or_default()
+}
+
+// ------------------------------------------------------------------- dossiers
+
+/// A snapshot of one in-flight VC assembled from its thread's flight
+/// recorder: what is running, for how long, its recent heartbeat trail, and
+/// its histograms so far. Produced by [`stuck_dossiers`] / [`flight_dossiers`]
+/// and rendered with [`render_dossier`].
+#[derive(Clone, Debug)]
+pub struct Dossier {
+    /// Lane label of the thread solving the VC (e.g. `"worker-3"`).
+    pub thread: String,
+    /// The VC's task label (description).
+    pub task: String,
+    /// Seconds the VC has been in flight when the snapshot was taken.
+    pub age_s: f64,
+    /// Trailing heartbeat snapshots, oldest first: `(age-in-VC seconds, hb)`.
+    pub trail: Vec<(f64, Heartbeat)>,
+    /// Histograms collected for the VC so far.
+    pub hists: HistogramSet,
+}
+
+fn snapshot_recorder(rec: &mut Recorder, now: u64) -> Dossier {
+    let started = rec.started_us;
+    Dossier {
+        thread: rec.label.clone(),
+        task: rec.task.clone().unwrap_or_default(),
+        age_s: (now.saturating_sub(started)) as f64 / 1e6,
+        trail: rec
+            .ring
+            .iter()
+            .map(|(ts, hb)| ((ts.saturating_sub(started)) as f64 / 1e6, hb.clone()))
+            .collect(),
+        hists: rec.hists.clone(),
+    }
+}
+
+/// Returns a dossier for every in-flight VC older than `min_age` whose
+/// dossier has not been dumped yet, latching each so a polling watchdog
+/// reports a stuck VC exactly once. Safe to call from any thread.
+pub fn stuck_dossiers(min_age: Duration) -> Vec<Dossier> {
+    let now = now_us();
+    let min_us = min_age.as_micros() as u64;
+    let mut out = Vec::new();
+    for rec in RECORDERS.lock().expect("obs recorders").iter() {
+        let mut rec = rec.lock().expect("obs recorder");
+        if rec.task.is_none() || rec.dumped || now.saturating_sub(rec.started_us) < min_us {
+            continue;
+        }
+        rec.dumped = true;
+        out.push(snapshot_recorder(&mut rec, now));
+    }
+    out
+}
+
+/// Returns a dossier for every VC currently in flight, regardless of age or
+/// the stuck latch — the interrupt/panic path, where whatever is running is
+/// exactly what the user wants evidence about.
+pub fn flight_dossiers() -> Vec<Dossier> {
+    let now = now_us();
+    let mut out = Vec::new();
+    for rec in RECORDERS.lock().expect("obs recorders").iter() {
+        let mut rec = rec.lock().expect("obs recorder");
+        if rec.task.is_none() {
+            continue;
+        }
+        out.push(snapshot_recorder(&mut rec, now));
+    }
+    out
+}
+
+/// Renders a dossier as a human-readable text block (the `[dossier]` stderr
+/// artifact the `--vc-timeout` watchdog and Ctrl-C handler emit).
+pub fn render_dossier(d: &Dossier) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "[dossier] stuck VC: {} ({}, in flight {:.1}s)",
+        d.task, d.thread, d.age_s
+    );
+    let phase = d
+        .trail
+        .last()
+        .map(|(_, hb)| hb.phase)
+        .filter(|p| !p.is_empty())
+        .unwrap_or("unknown");
+    let _ = writeln!(out, "[dossier]   current phase: {phase}");
+    let tail_from = d.trail.len().saturating_sub(8);
+    let _ = writeln!(
+        out,
+        "[dossier]   heartbeat trail (last {} of {}):",
+        d.trail.len() - tail_from,
+        d.trail.len()
+    );
+    for (age, hb) in &d.trail[tail_from..] {
+        let _ = writeln!(
+            out,
+            "[dossier]     +{age:8.1}s {phase:<8} conflicts={} decisions={} \
+             propagations={} restarts={} learned={} rounds={} pivots={}",
+            hb.conflicts,
+            hb.decisions,
+            hb.propagations,
+            hb.restarts,
+            hb.learned,
+            hb.theory_rounds,
+            hb.pivots,
+            phase = hb.phase,
+        );
+    }
+    for metric in Metric::ALL {
+        let h = d.hists.get(metric);
+        if h.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "[dossier]   hist {:<20} count={} p50<={} p90<={} max={}",
+            metric.name(),
+            h.count(),
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.max()
+        );
+    }
+    out
 }
 
 // -------------------------------------------------------------- trace control
@@ -396,6 +841,31 @@ pub fn trace_stop() -> Vec<Lane> {
                 lane: buf.lane,
                 label: buf.label.clone(),
                 events: std::mem::take(&mut buf.events),
+            })
+        })
+        .collect();
+    lanes.sort_by_key(|l| l.lane);
+    lanes
+}
+
+/// Snapshots every lane's buffered events *without* draining them or
+/// stopping the trace. The interrupt guard and the watchdog use this to keep
+/// a loadable partial trace on disk while a run is still in flight (open
+/// spans appear as unclosed `Begin` events, which Perfetto tolerates).
+pub fn trace_snapshot() -> Vec<Lane> {
+    let mut lanes: Vec<Lane> = REGISTRY
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .filter_map(|buf| {
+            let buf = buf.lock().expect("obs thread buffer");
+            if buf.events.is_empty() {
+                return None;
+            }
+            Some(Lane {
+                lane: buf.lane,
+                label: buf.label.clone(),
+                events: buf.events.clone(),
             })
         })
         .collect();
@@ -598,6 +1068,101 @@ mod tests {
         set_heartbeat_conflicts(1024);
         assert_eq!(heartbeat_interval(), 1024);
         set_heartbeat_conflicts(0);
+
+        // Metrics disarmed: recording and VC bracketing are no-ops.
+        assert!(!metrics_active());
+        record_metric(Metric::TheoryRoundUs, 10);
+        vc_begin("dead vc");
+        assert!(vc_take().is_empty());
+        assert!(flight_dossiers().is_empty());
+
+        // Metrics armed: histograms accumulate per VC, heartbeats land in
+        // the flight-recorder ring, and dossiers surface in-flight VCs.
+        set_metrics(true);
+        assert!(metrics_active() && active());
+        vc_begin("list/insert/ensures#0");
+        record_metric(Metric::RestartSegmentUs, 700);
+        record_metric(Metric::RestartSegmentUs, 1500);
+        record_metric(Metric::PivotsPerRound, 9);
+        emit_heartbeat(Heartbeat {
+            conflicts: 42,
+            ..Heartbeat::default()
+        });
+        let stuck = stuck_dossiers(Duration::from_secs(0));
+        assert_eq!(stuck.len(), 1);
+        let d = &stuck[0];
+        assert_eq!(d.task, "list/insert/ensures#0");
+        assert_eq!(d.trail.len(), 1);
+        assert_eq!(d.trail[0].1.conflicts, 42);
+        assert_eq!(d.hists.get(Metric::RestartSegmentUs).count(), 2);
+        // The stuck latch reports each VC once; the flight view still sees it.
+        assert!(stuck_dossiers(Duration::from_secs(0)).is_empty());
+        assert_eq!(flight_dossiers().len(), 1);
+        let rendered = render_dossier(d);
+        assert!(rendered.contains("list/insert/ensures#0"));
+        assert!(rendered.contains("restart_segment_us"));
+        assert!(rendered.contains("conflicts=42"));
+        // Nothing younger than a large min_age is stuck.
+        vc_begin("list/insert/ensures#1");
+        assert!(stuck_dossiers(Duration::from_secs(3600)).is_empty());
+        let hists = vc_take();
+        assert!(hists.is_empty(), "vc_begin resets per-VC histograms");
+        assert!(flight_dossiers().is_empty(), "vc_take closes the VC");
+        set_metrics(false);
+        assert!(!active());
+    }
+
+    #[test]
+    fn histogram_buckets_merge_and_quantiles() {
+        // Bucketing: 0 and 1 share bucket 0; powers of two start new buckets.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+
+        let mut h = Histogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.max(), 1000);
+        // Median sample (rank 3) is 3 → bucket [2,3], upper bound 3.
+        assert_eq!(h.quantile(0.5), 3);
+        // Top quantiles are clamped to the observed max.
+        assert_eq!(h.quantile(1.0), 1000);
+
+        let mut other = Histogram::default();
+        other.record(1 << 20);
+        h.merge(&other);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1 << 20);
+
+        // Round-trip through exported parts (the ledger path).
+        let back = Histogram::from_parts(h.bucket_counts(), h.count(), h.sum(), h.max());
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn histogram_set_merges_per_metric() {
+        let mut a = HistogramSet::default();
+        a.record(Metric::TheoryRoundUs, 50);
+        let mut b = HistogramSet::default();
+        b.record(Metric::TheoryRoundUs, 70);
+        b.record(Metric::ConflictGapUs, 5);
+        a.merge(&b);
+        assert_eq!(a.get(Metric::TheoryRoundUs).count(), 2);
+        assert_eq!(a.get(Metric::ConflictGapUs).count(), 1);
+        assert!(a.get(Metric::RestartSegmentUs).is_empty());
+        assert!(!a.is_empty());
+        for metric in Metric::ALL {
+            assert_eq!(Metric::from_name(metric.name()), Some(metric));
+        }
+        assert_eq!(Metric::from_name("nope"), None);
     }
 
     #[test]

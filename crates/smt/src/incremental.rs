@@ -498,10 +498,18 @@ impl IncrementalSolver {
             let literals = live_literals(&self.atom_map, sat, &self.atom_scope, &self.scopes);
             let theory_start = std::time::Instant::now();
             let (theory_result, theory_tel) = checker.check_with(tm, &literals, pivot);
-            stats.theory_time += theory_start.elapsed();
+            let theory_elapsed = theory_start.elapsed();
+            stats.theory_time += theory_elapsed;
             stats.pivots += theory_tel.pivots;
             stats.euf_time += theory_tel.euf_time;
             stats.simplex_time += theory_tel.simplex_time;
+            if ids_obs::metrics_active() {
+                ids_obs::record_metric(
+                    ids_obs::Metric::TheoryRoundUs,
+                    theory_elapsed.as_micros() as u64,
+                );
+                ids_obs::record_metric(ids_obs::Metric::PivotsPerRound, theory_tel.pivots);
+            }
             if ids_obs::heartbeat_interval() != 0 {
                 ids_obs::emit_heartbeat(ids_obs::Heartbeat {
                     conflicts: sat.conflicts,

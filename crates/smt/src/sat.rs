@@ -743,12 +743,27 @@ impl SatSolver {
         // drop keeps Begin/End matched on every return path below.
         let mut obs_span = ids_obs::SegmentedSpan::new("sat");
         let heartbeat_every = ids_obs::heartbeat_interval();
+        // Histogram sampling (restart-segment duration, conflict
+        // inter-arrival) is snapshotted once per search call: disarmed runs
+        // pay one relaxed load here and zero clock reads in the loop.
+        let metrics = ids_obs::metrics_active();
+        let mut seg_start = metrics.then(std::time::Instant::now);
+        let mut last_conflict: Option<std::time::Instant> = None;
         loop {
             if let Some(conf) = self.propagate() {
                 self.conflicts += 1;
                 self.conflicts_since_reduce += 1;
                 conflicts_here += 1;
                 conflicts_since_restart += 1;
+                if metrics {
+                    let now = std::time::Instant::now();
+                    if let Some(prev) = last_conflict.replace(now) {
+                        ids_obs::record_metric(
+                            ids_obs::Metric::ConflictGapUs,
+                            now.duration_since(prev).as_micros() as u64,
+                        );
+                    }
+                }
                 if heartbeat_every != 0 && self.conflicts.is_multiple_of(heartbeat_every) {
                     self.emit_heartbeat();
                 }
@@ -780,6 +795,12 @@ impl SatSolver {
                     restarts_here += 1;
                     self.restarts += 1;
                     obs_span.restart(|| format!("restart {restarts_here}"));
+                    if let Some(start) = seg_start.replace(std::time::Instant::now()) {
+                        ids_obs::record_metric(
+                            ids_obs::Metric::RestartSegmentUs,
+                            start.elapsed().as_micros() as u64,
+                        );
+                    }
                     if heartbeat_every != 0 {
                         self.emit_heartbeat();
                     }

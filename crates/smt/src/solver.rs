@@ -322,10 +322,18 @@ impl Solver {
             let literals = atom_map.model_literals(&sat);
             let theory_start = std::time::Instant::now();
             let (theory_result, theory_tel) = checker.check_with(tm, &literals, self.config.pivot);
-            self.stats.theory_time += theory_start.elapsed();
+            let theory_elapsed = theory_start.elapsed();
+            self.stats.theory_time += theory_elapsed;
             self.stats.pivots += theory_tel.pivots;
             self.stats.euf_time += theory_tel.euf_time;
             self.stats.simplex_time += theory_tel.simplex_time;
+            if ids_obs::metrics_active() {
+                ids_obs::record_metric(
+                    ids_obs::Metric::TheoryRoundUs,
+                    theory_elapsed.as_micros() as u64,
+                );
+                ids_obs::record_metric(ids_obs::Metric::PivotsPerRound, theory_tel.pivots);
+            }
             if ids_obs::heartbeat_interval() != 0 {
                 ids_obs::emit_heartbeat(ids_obs::Heartbeat {
                     conflicts: sat.conflicts,

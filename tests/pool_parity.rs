@@ -269,11 +269,14 @@ fn solver_profiles_agree_and_share_cache_keys() {
     }
 }
 
-/// Observability parity: arming tracing plus a heartbeat observer must not
-/// change a single report field — verdicts, per-VC rows and every driver
-/// counter are identical with the observer on and off, in every pool mode
-/// and under both solver profiles. (Verdict parity is what licenses leaving
-/// the instrumentation compiled into release builds.)
+/// Observability parity: arming tracing, a heartbeat observer AND the
+/// metrics histograms must not change a single report field — verdicts,
+/// per-VC rows (including the stable `vc_key`) and every driver counter are
+/// identical with the observer on and off, in every pool mode and under both
+/// solver profiles. Histograms are the one intentional difference: empty
+/// when disarmed, populated when armed — they are normalized out of the
+/// identity comparison and pinned separately. (Verdict parity is what
+/// licenses leaving the instrumentation compiled into release builds.)
 #[test]
 fn observer_on_and_off_produce_identical_reports() {
     use intrinsic_verify::obs;
@@ -318,7 +321,9 @@ fn observer_on_and_off_produce_identical_reports() {
             obs::trace_start();
             obs::set_heartbeat_conflicts(1);
             obs::set_observer(Some(counter.clone()));
+            obs::set_metrics(true);
             let on = run(mode, profile);
+            obs::set_metrics(false);
             obs::set_observer(None);
             obs::set_heartbeat_conflicts(0);
             let lanes = obs::trace_stop();
@@ -349,11 +354,31 @@ fn observer_on_and_off_produce_identical_reports() {
                 assert_eq!(a.vc_reports.len(), b.vc_reports.len(), "{}", label);
                 for (va, vb) in a.vc_reports.iter().zip(&b.vc_reports) {
                     assert_eq!(va.vc_index, vb.vc_index, "{}", label);
+                    assert_eq!(va.vc_key, vb.vc_key, "{}", label);
                     assert_eq!(va.description, vb.description, "{}", label);
                     assert_eq!(va.verdict, vb.verdict, "{}", label);
                     assert_eq!(va.cached, vb.cached, "{}", label);
+                    // Histograms are normalized out of the identity check:
+                    // the disarmed run must have none at all.
+                    assert!(
+                        va.hists.is_empty(),
+                        "{}: metrics were disarmed yet {} vc {} recorded histograms",
+                        label,
+                        a.method,
+                        va.vc_index
+                    );
                 }
             }
+            // ...and the armed run must have recorded solver dynamics for at
+            // least one solved VC (trivial VCs may finish without a round).
+            assert!(
+                on.reports
+                    .iter()
+                    .flat_map(|r| &r.vc_reports)
+                    .any(|vc| !vc.hists.is_empty()),
+                "{}: metrics were armed yet no VC recorded a histogram",
+                label
+            );
             assert_eq!(off.stats.vcs, on.stats.vcs, "{}", label);
             assert_eq!(off.stats.smt_queries, on.stats.smt_queries, "{}", label);
             assert_eq!(off.stats.cache_hits, on.stats.cache_hits, "{}", label);
