@@ -172,6 +172,41 @@ fn bench_driver(c: &mut Criterion) {
         ids_obs::set_heartbeat_conflicts(0);
     });
 
+    // Per-round theory cost with the persistent trail session. The solver
+    // retracts/asserts only the literal delta between consecutive SAT
+    // models instead of rebuilding EUF + simplex from scratch each round;
+    // `insert_back` is the heaviest SLL method (longest methods, most
+    // rounds), so this case pins the per-round cost that the trail
+    // optimisation targets. Metrics are armed so the `theory_delta_lits`
+    // histogram (delta literals per round — a rebuild would count every
+    // literal every round) is recorded and sanity-checked.
+    group.bench_function("trail_rounds_insert_back_jobs1", |b| {
+        let selections = sll_selection(&ids, &["insert_back"]);
+        let config = DriverConfig {
+            jobs: 1,
+            cache_path: None,
+            ..DriverConfig::default()
+        };
+        ids_obs::set_metrics(true);
+        b.iter(|| {
+            let batch = verify_selections(&selections, &config);
+            assert!(batch.errors.is_empty());
+            let (rounds, delta_lits): (u64, u64) = batch
+                .reports
+                .iter()
+                .flat_map(|r| &r.vc_reports)
+                .map(|vc| {
+                    let h = vc.hists.get(ids_obs::Metric::TheoryDeltaLits);
+                    (h.count(), h.sum())
+                })
+                .fold((0, 0), |(c, s), (hc, hs)| (c + hc, s + hs));
+            assert!(rounds > 0, "insert_back must run theory rounds");
+            std::hint::black_box(delta_lits);
+            batch.reports.len()
+        });
+        ids_obs::set_metrics(false);
+    });
+
     group.bench_function("parallel_jobs4", |b| {
         let selections = sll_selection(&ids, &methods);
         let config = DriverConfig {

@@ -1002,6 +1002,8 @@ fn solver_json(j: &mut Json, s: &SolverStats) {
     j.num_field("learned_deleted", s.learned_deleted as f64);
     j.num_field("max_lbd", s.max_lbd as f64);
     j.num_field("pivots", s.pivots as f64);
+    j.num_field("unsat_cores", s.unsat_cores as f64);
+    j.num_field("unsat_core_size", s.unsat_core_size as f64);
     j.end_object();
 }
 
@@ -1092,6 +1094,8 @@ fn to_json(batch: &BatchReport, config: &DriverConfig, command: &str) -> String 
             j.bool_field("cached", vc.cached);
             j.num_field("queue_ms", vc.queue_time.as_secs_f64() * 1e3);
             j.num_field("solve_ms", vc.wall_time.as_secs_f64() * 1e3);
+            j.num_field("unsat_cores", vc.solver.unsat_cores as f64);
+            j.num_field("unsat_core_size", vc.solver.unsat_core_size as f64);
             j.key("phases");
             phases_json(&mut j, &vc.solver, vc.wall_time);
             if !vc.hists.is_empty() {

@@ -36,7 +36,14 @@ use crate::json::{Json, Value};
 use crate::{DriverConfig, DriverStats};
 
 /// Current ledger schema version; bump when a field changes meaning.
-pub const LEDGER_SCHEMA: u64 = 1;
+///
+/// History: v2 appended the `unsat_cores` / `unsat_core_size` solver
+/// counters (assumption-core extraction). v1 lines still parse — the new
+/// counters read as zero — so pre-bump baselines remain comparable.
+pub const LEDGER_SCHEMA: u64 = 2;
+
+/// Oldest schema version [`RunRecord::parse`] still accepts.
+pub const LEDGER_SCHEMA_MIN: u64 = 1;
 
 /// How long an append waits for the ledger lockfile before proceeding
 /// unlocked (fail-open, like the VC cache).
@@ -99,7 +106,7 @@ pub struct VcLedgerEntry {
 pub const PHASES: [&str; 5] = ["lower", "sat", "euf", "simplex", "overhead"];
 
 /// The counter names of [`VcLedgerEntry::solver`], in storage order.
-pub const SOLVER_COUNTERS: [&str; 8] = [
+pub const SOLVER_COUNTERS: [&str; 10] = [
     "theory_rounds",
     "conflicts",
     "decisions",
@@ -108,6 +115,8 @@ pub const SOLVER_COUNTERS: [&str; 8] = [
     "pivots",
     "learned_kept",
     "max_lbd",
+    "unsat_cores",
+    "unsat_core_size",
 ];
 
 /// One run's ledger record: metadata plus one entry per discharged VC.
@@ -166,6 +175,8 @@ fn vc_entry(task: &MethodTask, vc: &VcReport) -> VcLedgerEntry {
             vc.solver.pivots,
             vc.solver.learned_kept,
             vc.solver.max_lbd,
+            vc.solver.unsat_cores,
+            vc.solver.unsat_core_size,
         ],
         hists: vc.hists.clone(),
     }
@@ -275,7 +286,7 @@ impl RunRecord {
             .get("schema")
             .and_then(Value::as_u64)
             .ok_or("missing schema")?;
-        if schema != LEDGER_SCHEMA {
+        if !(LEDGER_SCHEMA_MIN..=LEDGER_SCHEMA).contains(&schema) {
             return Err(format!("unsupported ledger schema {schema}"));
         }
         let m = v.get("meta").ok_or("missing meta")?;

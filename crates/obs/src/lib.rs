@@ -411,10 +411,14 @@ pub enum Metric {
     PivotsPerRound = 2,
     /// Wall time between consecutive SAT conflicts, in microseconds.
     ConflictGapUs = 3,
+    /// Literals asserted plus retracted by the persistent theory session in
+    /// one DPLL(T) round (the trail delta against the previous model; a
+    /// rebuild round counts every literal).
+    TheoryDeltaLits = 4,
 }
 
 /// Number of [`Metric`] kinds (the arity of a [`HistogramSet`]).
-pub const METRIC_COUNT: usize = 4;
+pub const METRIC_COUNT: usize = 5;
 
 impl Metric {
     /// All metric kinds, in `HistogramSet` storage order.
@@ -423,6 +427,7 @@ impl Metric {
         Metric::TheoryRoundUs,
         Metric::PivotsPerRound,
         Metric::ConflictGapUs,
+        Metric::TheoryDeltaLits,
     ];
 
     /// Stable snake_case name used in JSON/ledger output.
@@ -432,6 +437,7 @@ impl Metric {
             Metric::TheoryRoundUs => "theory_round_us",
             Metric::PivotsPerRound => "pivots_per_round",
             Metric::ConflictGapUs => "conflict_gap_us",
+            Metric::TheoryDeltaLits => "theory_delta_lits",
         }
     }
 

@@ -21,9 +21,10 @@ use std::collections::HashMap;
 use crate::fxmap::FxHashMap;
 use crate::term::{Op, TermId, TermManager};
 
-/// Why two nodes were merged.
+/// Why two nodes were merged. Shared with the trail-based incremental engine
+/// in [`crate::trail`], which maintains the same proof-forest shape.
 #[derive(Clone, Debug)]
-enum Reason {
+pub(crate) enum Reason {
     /// An input equation with the given tag.
     Asserted(usize),
     /// Congruence of the two application terms (same operator, equal args).
@@ -44,22 +45,22 @@ pub enum EufOutcome {
 
 /// A congruence-eligible application node of the universe.
 #[derive(Clone, Debug)]
-struct AppNode {
+pub(crate) struct AppNode {
     /// Node index of the application term itself.
-    node: usize,
+    pub(crate) node: usize,
     /// Interned operator id (equal ids ⇔ equal operators).
-    op: u32,
+    pub(crate) op: u32,
     /// Node indices of the arguments.
-    args: Vec<usize>,
+    pub(crate) args: Vec<usize>,
 }
 
 /// The immutable, shareable part of a congruence-closure run: the term
 /// universe with dense node numbering and the pre-extracted application nodes.
 #[derive(Clone, Debug, Default)]
 pub struct EufTemplate {
-    terms: Vec<TermId>,
-    node_of_term: FxHashMap<TermId, usize>,
-    app_nodes: Vec<AppNode>,
+    pub(crate) terms: Vec<TermId>,
+    pub(crate) node_of_term: FxHashMap<TermId, usize>,
+    pub(crate) app_nodes: Vec<AppNode>,
     /// Interned operators, kept so the template can be extended with new
     /// terms later (incremental sessions) without renumbering.
     op_ids: HashMap<Op, u32>,

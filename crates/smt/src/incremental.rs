@@ -22,6 +22,11 @@
 //! * **Theory setup** — one [`crate::theory::TheoryChecker`] whose congruence
 //!   template and linear forms are *extended* as new atoms appear instead of
 //!   being rebuilt per query.
+//! * **Theory state** — a persistent trail-based theory session
+//!   (`crate::trail::TheorySession`): congruence closure and the simplex
+//!   tableau survive across DPLL(T) rounds, and each round asserts/retracts
+//!   only the literals that changed since the previous propositional model
+//!   instead of reconstructing both solvers from scratch.
 //!
 //! Model soundness with retraction: atoms that only occur in popped scopes
 //! are *dead* — their propositional values are unconstrained don't-cares. The
@@ -92,7 +97,8 @@ use crate::quant::contains_forall;
 use crate::sat::{Lit, SatResult, SatSolver, Var};
 use crate::solver::{SolverConfig, SolverStats};
 use crate::term::{Op, Sort, TermId, TermManager};
-use crate::theory::{TheoryCheck, TheoryChecker};
+use crate::theory::TheoryChecker;
+use crate::trail::{SessionCheck, TheorySession};
 
 /// Where an atom has been used so far: in a permanent assertion (or a derived
 /// fact), or only inside the listed push scopes.
@@ -125,6 +131,7 @@ struct MethodRollback {
     atom_map: AtomMap,
     lower: LowerCtx,
     checker: Option<TheoryChecker>,
+    session: TheorySession,
     pending_atoms: Vec<TermId>,
     atom_scope: HashMap<TermId, AtomScope>,
     asserted_roots: HashSet<TermId>,
@@ -147,6 +154,10 @@ pub struct IncrementalSolver {
     atom_map: AtomMap,
     lower: LowerCtx,
     checker: Option<TheoryChecker>,
+    /// Persistent trail-based theory state (EUF + simplex), kept across
+    /// DPLL(T) rounds and checks; snapshotted/restored with the checker at
+    /// method-scope boundaries so the two stay consistent.
+    session: TheorySession,
     /// Atoms encoded since the checker was last grown.
     pending_atoms: Vec<TermId>,
     atom_scope: HashMap<TermId, AtomScope>,
@@ -192,6 +203,7 @@ impl IncrementalSolver {
             atom_map: AtomMap::default(),
             lower: LowerCtx::new(),
             checker: None,
+            session: TheorySession::new(config.pivot),
             pending_atoms: Vec::new(),
             atom_scope: HashMap::new(),
             scopes: Vec::new(),
@@ -270,6 +282,7 @@ impl IncrementalSolver {
             atom_map: self.atom_map.clone(),
             lower: self.lower.clone(),
             checker: self.checker.clone(),
+            session: self.session.clone(),
             pending_atoms: self.pending_atoms.clone(),
             atom_scope: self.atom_scope.clone(),
             asserted_roots: self.asserted_roots.clone(),
@@ -299,6 +312,7 @@ impl IncrementalSolver {
         self.atom_map = m.atom_map;
         self.lower = m.lower;
         self.checker = m.checker;
+        self.session = m.session;
         self.pending_atoms = m.pending_atoms;
         self.atom_scope = m.atom_scope;
         self.asserted_roots = m.asserted_roots;
@@ -464,11 +478,11 @@ impl IncrementalSolver {
         let assumptions: Vec<Lit> = self.scopes.iter().map(|s| Lit::new(s.act, true)).collect();
 
         // Split borrows: the loop reads the checker while mutating the SAT
-        // core and the stats.
+        // core, the theory session and the stats.
         let checker = self.checker.as_ref().expect("checker built above");
         let sat = &mut self.sat;
         let stats = &mut self.stats;
-        let pivot = self.config.pivot;
+        let session = &mut self.session;
         let snapshot = |stats: &mut SolverStats, sat: &SatSolver| {
             stats.sat_conflicts = sat.conflicts - base.0;
             stats.sat_decisions = sat.decisions - base.1;
@@ -478,6 +492,11 @@ impl IncrementalSolver {
             stats.learned_kept = sat.num_learned() as u64;
             stats.max_lbd = sat.max_lbd as u64;
         };
+
+        // Differential oracle for debugging the trail session: when
+        // IDS_TRAIL_ORACLE is set, every Consistent verdict is re-checked
+        // against the stateless batch checker, which must agree.
+        let oracle = std::env::var_os("IDS_TRAIL_ORACLE").is_some();
 
         for round in 0..self.config.max_theory_rounds {
             stats.theory_rounds = round as u64 + 1;
@@ -491,13 +510,23 @@ impl IncrementalSolver {
             match sat_result {
                 SatResult::Unsat | SatResult::Unknown => {
                     snapshot(stats, sat);
+                    if sat_result == SatResult::Unsat {
+                        // The refutation's assumption core was extracted by
+                        // the SAT core's final-conflict analysis.
+                        stats.unsat_cores = 1;
+                        stats.unsat_core_size = sat.unsat_core.len() as u64;
+                    }
                     return sat_result;
                 }
                 SatResult::Sat => {}
             }
+            // Literals in SAT-trail (assignment) order: CDCL backjumps keep a
+            // long trail prefix, so consecutive rounds share a long literal
+            // prefix and the theory session only processes the delta.
             let literals = live_literals(&self.atom_map, sat, &self.atom_scope, &self.scopes);
             let theory_start = std::time::Instant::now();
-            let (theory_result, theory_tel) = checker.check_with(tm, &literals, pivot);
+            let (theory_result, theory_tel, delta_lits) =
+                session.check_round(tm, checker, &literals);
             let theory_elapsed = theory_start.elapsed();
             stats.theory_time += theory_elapsed;
             stats.pivots += theory_tel.pivots;
@@ -509,6 +538,7 @@ impl IncrementalSolver {
                     theory_elapsed.as_micros() as u64,
                 );
                 ids_obs::record_metric(ids_obs::Metric::PivotsPerRound, theory_tel.pivots);
+                ids_obs::record_metric(ids_obs::Metric::TheoryDeltaLits, delta_lits);
             }
             if ids_obs::heartbeat_interval() != 0 {
                 ids_obs::emit_heartbeat(ids_obs::Heartbeat {
@@ -523,22 +553,29 @@ impl IncrementalSolver {
                 });
             }
             match theory_result {
-                TheoryCheck::Consistent => {
+                SessionCheck::Consistent => {
+                    if oracle {
+                        let (batch, _) = checker.check_with(tm, &literals, self.config.pivot);
+                        assert!(
+                            matches!(batch, crate::theory::TheoryCheck::Consistent),
+                            "trail session said Consistent; batch checker says {:?}\n\
+                             literals: {:?}",
+                            batch,
+                            literals
+                        );
+                    }
                     snapshot(stats, sat);
                     self.model = Some(Model::new(literals));
                     return SatResult::Sat;
                 }
-                TheoryCheck::Unknown => {
+                SessionCheck::Unknown => {
                     snapshot(stats, sat);
                     return SatResult::Unknown;
                 }
-                TheoryCheck::Conflict(indices) => {
-                    let clause: Vec<Lit> = indices
+                SessionCheck::Conflict(lits) => {
+                    let clause: Vec<Lit> = lits
                         .iter()
-                        .map(|&i| {
-                            let (atom, positive) = literals[i];
-                            self.atom_map.lit_of(atom, !positive)
-                        })
+                        .map(|&(atom, positive)| self.atom_map.lit_of(atom, !positive))
                         .collect();
                     if clause.is_empty() {
                         // The theories rejected the empty literal set — the
@@ -563,6 +600,14 @@ impl IncrementalSolver {
         SatResult::Unknown
     }
 
+    /// Number of literals currently held by the persistent theory session's
+    /// trail. Exposed for the scope-leak property tests: rolling back a
+    /// method scope must restore the trail to its pre-scope length.
+    #[doc(hidden)]
+    pub fn theory_trail_len(&self) -> usize {
+        self.session.trail_len()
+    }
+
     /// Convenience wrapper for one goal check under the current assertions:
     /// opens a scope, asserts the negated formula, checks, pops — and
     /// translates the result into validity terms ([`SatResult::Sat`] = the
@@ -585,6 +630,12 @@ impl IncrementalSolver {
 /// The asserted theory literals of the current SAT model, restricted to live
 /// atoms (see the module documentation for why dead atoms must be excluded
 /// from theory checking).
+///
+/// Literals come back in SAT-trail (assignment) order, not term order: CDCL
+/// backjumps retract only a trail suffix, so consecutive models agree on a
+/// long prefix under this ordering, which is what lets the persistent theory
+/// session assert/retract only the per-round delta. Callers needing a
+/// canonical order (the model) sort separately.
 fn live_literals(
     atom_map: &AtomMap,
     sat: &SatSolver,
@@ -601,8 +652,14 @@ fn live_literals(
         // them, and every live clause mentioning them is deactivated.
         None => false,
     };
-    let mut out = atom_map.model_literals(sat);
-    out.retain(|(t, _)| is_live(t));
+    let mut out = Vec::new();
+    for &lit in sat.trail() {
+        if let Some(&atom) = atom_map.atom_of_var.get(&lit.var()) {
+            if is_live(&atom) {
+                out.push((atom, lit.is_positive()));
+            }
+        }
+    }
     out
 }
 

@@ -60,6 +60,7 @@ pub mod smtlib;
 pub mod solver;
 pub mod term;
 pub mod theory;
+mod trail;
 
 pub use hash::structural_hash;
 pub use incremental::IncrementalSolver;

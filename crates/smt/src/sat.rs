@@ -240,6 +240,23 @@ pub struct SatSolver {
     conflicts_since_reduce: u64,
     /// Conflict count that triggers the next `reduce_db` run.
     reduce_limit: u64,
+    /// Restarts performed since the current `solve` began. Persisted across
+    /// `solve_continue`/`solve_continue_under` rounds of one solve so the
+    /// Luby sequence keeps advancing on theory-bound problems (each theory
+    /// round used to rewind the schedule to its beginning, so restarts — and
+    /// with them the `reduce_db` cadence — barely ever fired).
+    restarts_this_solve: u64,
+    /// Conflict count that triggers the next restart (advances along the
+    /// schedule with `restarts_this_solve`; `0` means "not yet initialised").
+    restart_limit: u64,
+    /// Conflicts since the last restart, persisted across continuation
+    /// rounds like `restarts_this_solve`.
+    conflicts_since_restart: u64,
+    /// The unsat core of the most recent [`SatResult::Unsat`] answer from
+    /// [`SatSolver::solve_under`] / [`SatSolver::solve_continue_under`]: a
+    /// subset of the assumption literals sufficient for unsatisfiability.
+    /// Empty when the clause set is unsatisfiable on its own.
+    pub unsat_core: Vec<Lit>,
     /// Number of conflicts encountered (for statistics).
     pub conflicts: u64,
     /// Number of decisions made (for statistics).
@@ -309,6 +326,14 @@ impl SatSolver {
                 }
             }
         }
+    }
+
+    /// The assignment trail: every currently assigned literal in assignment
+    /// order. Consecutive solver rounds share a long trail prefix (CDCL
+    /// backjumps only undo a suffix), which the incremental theory session
+    /// exploits to retract/assert only the delta between models.
+    pub fn trail(&self) -> &[Lit] {
+        &self.trail
     }
 
     /// The current value of a variable, if assigned.
@@ -592,9 +617,11 @@ impl SatSolver {
     /// the budget is exhausted.
     pub fn solve_with_budget(&mut self, max_conflicts: u64) -> SatResult {
         self.assumptions.clear();
+        self.unsat_core.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
+        self.reset_search_schedule();
         self.backtrack(0);
         if self.propagate().is_some() {
             self.ok = false;
@@ -603,12 +630,25 @@ impl SatSolver {
         self.search(max_conflicts)
     }
 
+    /// Rewinds the restart schedule (and with it the `reduce_db` cadence's
+    /// trigger points) to its beginning. Called by the fresh-solve entry
+    /// points only; continuation rounds keep advancing the same schedule.
+    fn reset_search_schedule(&mut self) {
+        self.restarts_this_solve = 0;
+        self.conflicts_since_restart = 0;
+        self.restart_limit = match self.options.restart {
+            RestartPolicy::Luby { unit } => unit.max(1) * luby(1),
+            RestartPolicy::Geometric { start } => start.max(1),
+        };
+    }
+
     /// Continues the search from the current trail without resetting it. Used
     /// by the lazy DPLL(T) driver after [`SatSolver::add_theory_conflict`] so
     /// that each theory round only repairs the part of the assignment the new
     /// clause invalidates instead of re-enumerating the whole model.
     pub fn solve_continue(&mut self) -> SatResult {
         self.assumptions.clear();
+        self.unsat_core.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -625,9 +665,11 @@ impl SatSolver {
     /// clauses carry a negated activation literal, and the scope is enabled by
     /// assuming the activation literal here.
     pub fn solve_under(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.unsat_core.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
+        self.reset_search_schedule();
         self.backtrack(0);
         if self.propagate().is_some() {
             self.ok = false;
@@ -643,6 +685,7 @@ impl SatSolver {
     /// the current trail (used between theory rounds) while re-establishing
     /// any assumption a backjump may have undone.
     pub fn solve_continue_under(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.unsat_core.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -730,15 +773,15 @@ impl SatSolver {
 
     /// The CDCL search loop over the current trail.
     fn search(&mut self, max_conflicts: u64) -> SatResult {
-        // The restart schedule is local to one search call: a fresh `solve`
-        // (or theory-round continuation) starts at the schedule's beginning.
-        let mut restarts_here = 0u64;
-        let mut restart_limit = match self.options.restart {
-            RestartPolicy::Luby { unit } => unit.max(1) * luby(1),
-            RestartPolicy::Geometric { start } => start.max(1),
-        };
+        // The restart schedule lives on the solver, not in this call: a fresh
+        // `solve` rewinds it via `reset_search_schedule`, while theory-round
+        // continuations keep advancing the same Luby/geometric sequence (and
+        // with it the clause-deletion cadence, which only fires at restarts).
+        if self.restart_limit == 0 {
+            // Direct `solve_continue` without a preceding fresh solve.
+            self.reset_search_schedule();
+        }
         let mut conflicts_here = 0u64;
-        let mut conflicts_since_restart = 0u64;
         // One trace span per search call, segmented at restarts; the guard's
         // drop keeps Begin/End matched on every return path below.
         let mut obs_span = ids_obs::SegmentedSpan::new("sat");
@@ -754,7 +797,7 @@ impl SatSolver {
                 self.conflicts += 1;
                 self.conflicts_since_reduce += 1;
                 conflicts_here += 1;
-                conflicts_since_restart += 1;
+                self.conflicts_since_restart += 1;
                 if metrics {
                     let now = std::time::Instant::now();
                     if let Some(prev) = last_conflict.replace(now) {
@@ -790,10 +833,11 @@ impl SatSolver {
                     self.bump_clause(ci);
                     self.enqueue(learned[0], Some(ci));
                 }
-                if conflicts_since_restart > restart_limit {
-                    conflicts_since_restart = 0;
-                    restarts_here += 1;
+                if self.conflicts_since_restart > self.restart_limit {
+                    self.conflicts_since_restart = 0;
+                    self.restarts_this_solve += 1;
                     self.restarts += 1;
+                    let restarts_here = self.restarts_this_solve;
                     obs_span.restart(|| format!("restart {restarts_here}"));
                     if let Some(start) = seg_start.replace(std::time::Instant::now()) {
                         ids_obs::record_metric(
@@ -804,9 +848,13 @@ impl SatSolver {
                     if heartbeat_every != 0 {
                         self.emit_heartbeat();
                     }
-                    restart_limit = match self.options.restart {
-                        RestartPolicy::Luby { unit } => unit.max(1) * luby(restarts_here + 1),
-                        RestartPolicy::Geometric { .. } => restart_limit + restart_limit / 2,
+                    self.restart_limit = match self.options.restart {
+                        RestartPolicy::Luby { unit } => {
+                            unit.max(1) * luby(self.restarts_this_solve + 1)
+                        }
+                        RestartPolicy::Geometric { .. } => {
+                            self.restart_limit + self.restart_limit / 2
+                        }
                     };
                     self.backtrack(0);
                     if self.options.clause_db.enabled
@@ -826,7 +874,10 @@ impl SatSolver {
                         // Implied false by clauses and earlier assumptions
                         // alone: unsatisfiable under the assumptions. The
                         // clause set itself stays consistent (`ok` untouched).
-                        Value::False => return SatResult::Unsat,
+                        Value::False => {
+                            self.unsat_core = self.analyze_final(a);
+                            return SatResult::Unsat;
+                        }
                         Value::Unassigned => {
                             assumed = Some(a);
                             break;
@@ -850,6 +901,45 @@ impl SatSolver {
                 }
             }
         }
+    }
+
+    /// MiniSat-style `analyzeFinal`: given an assumption literal found false
+    /// under the current trail, walks the implication graph backwards and
+    /// collects the subset of assumptions responsible — the unsat core.
+    ///
+    /// Soundness rests on the decision discipline of `search`: assumptions
+    /// are (re-)decided before any free decision, and a free decision can
+    /// only be on the trail while *every* assumption is assigned true — so
+    /// when an assumption evaluates false, every `reason == None` ancestor
+    /// above level 0 is itself an assumption. Level-0 implications hold
+    /// unconditionally and contribute nothing.
+    fn analyze_final(&self, failed: Lit) -> Vec<Lit> {
+        let mut core = vec![failed];
+        let mut seen = vec![false; self.num_vars()];
+        seen[failed.var() as usize] = true;
+        for &l in self.trail.iter().rev() {
+            let v = l.var() as usize;
+            if !seen[v] {
+                continue;
+            }
+            seen[v] = false;
+            if self.level[v] == 0 {
+                continue;
+            }
+            match self.reason[v] {
+                None => core.push(l),
+                Some(ci) => {
+                    for &q in &self.clauses[ci].lits {
+                        if q.var() as usize != v && self.level[q.var() as usize] > 0 {
+                            seen[q.var() as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        core.sort();
+        core.dedup();
+        core
     }
 
     /// Deletes the worst half of the deletable learned clauses: highest LBD
@@ -1074,5 +1164,146 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn unsat_core_is_a_sufficient_assumption_subset() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let x = s.new_var();
+        // a -> x, b -> ~x: assuming {a, b} is unsat; c is irrelevant.
+        s.add_clause(vec![lit(a, false), lit(x, true)]);
+        s.add_clause(vec![lit(b, false), lit(x, false)]);
+        assert_eq!(
+            s.solve_under(&[lit(a, true), lit(b, true), lit(c, true)]),
+            SatResult::Unsat
+        );
+        let core = s.unsat_core.clone();
+        assert!(core.contains(&lit(a, true)), "core {:?} must blame a", core);
+        assert!(core.contains(&lit(b, true)), "core {:?} must blame b", core);
+        assert!(
+            !core.contains(&lit(c, true)),
+            "core {:?} must not blame the irrelevant assumption c",
+            core
+        );
+        // Re-solving under the core alone must still be unsat (sufficiency).
+        assert_eq!(s.solve_under(&core), SatResult::Unsat);
+        // A satisfiable call leaves no stale core behind.
+        assert_eq!(s.solve_under(&[lit(a, true)]), SatResult::Sat);
+        assert!(s.unsat_core.is_empty());
+        // Directly conflicting assumptions blame both polarities.
+        assert_eq!(
+            s.solve_under(&[lit(a, true), lit(a, false)]),
+            SatResult::Unsat
+        );
+        assert_eq!(s.unsat_core, vec![lit(a, true), lit(a, false)]);
+        // A clause-set-level unsat (no assumptions involved) has an empty
+        // core: nothing to retract would help.
+        s.add_clause(vec![lit(x, true)]);
+        s.add_clause(vec![lit(x, false)]);
+        assert_eq!(s.solve_under(&[lit(c, true)]), SatResult::Unsat);
+        assert!(s.unsat_core.is_empty());
+    }
+
+    /// The satellite pin of the cross-round schedule fix: continuation
+    /// rounds (as the DPLL(T) loop issues between theory checks) must keep
+    /// advancing the restart schedule instead of rewinding it, so the
+    /// clause-deletion cadence actually fires on multi-round problems. Each
+    /// round here contributes only a few conflicts — under the old per-call
+    /// schedule no single round ever reached a restart, so `reduce_db`
+    /// (which only runs at restarts) never fired.
+    #[test]
+    fn schedule_persists_across_continuation_rounds() {
+        let options = SatOptions {
+            restart: RestartPolicy::Luby { unit: 2 },
+            clause_db: ClauseDbOptions {
+                enabled: true,
+                first_reduce: 8,
+                reduce_inc: 0,
+                glue_lbd: 1,
+            },
+        };
+        let mut s = SatSolver::with_options(options);
+        // A conflict-rich but solution-rich random 3-SAT instance
+        // (deterministic xorshift, as in `random_3sat_consistency`).
+        let n = 24;
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        let mut state = 7u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..72 {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| lit(vars[next() as usize % n], next() % 2 == 0))
+                .collect();
+            s.add_clause(c);
+        }
+        let act = s.new_var();
+        assert_eq!(s.solve_under(&[lit(act, true)]), SatResult::Sat);
+        let mut continued = 0u64;
+        for _ in 0..60 {
+            // Refute the current model the way a theory conflict would, then
+            // continue the same solve.
+            let blocking: Vec<Lit> = vars
+                .iter()
+                .take(8)
+                .map(|&v| lit(v, s.value(v) != Some(true)))
+                .collect();
+            s.add_theory_conflict(blocking);
+            if s.solve_continue_under(&[lit(act, true)]) != SatResult::Sat {
+                break;
+            }
+            continued += 1;
+        }
+        assert!(continued > 5, "need a genuinely multi-round run");
+        assert!(
+            s.restarts > 0,
+            "continuation rounds must reach the restart schedule (conflicts {})",
+            s.conflicts
+        );
+        assert!(
+            s.learned_deleted > 0,
+            "clause deletion must fire across continuation rounds \
+             (restarts {}, conflicts {})",
+            s.restarts,
+            s.conflicts
+        );
+    }
+
+    /// The flip side of cross-round persistence: a *fresh* solve rewinds the
+    /// restart schedule to its beginning.
+    #[test]
+    fn fresh_solve_rewinds_restart_schedule() {
+        let options = SatOptions {
+            restart: RestartPolicy::Luby { unit: 1 },
+            ..SatOptions::default()
+        };
+        let mut s = SatSolver::with_options(options);
+        let n = 24;
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        let mut state = 7u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..72 {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| lit(vars[next() as usize % n], next() % 2 == 0))
+                .collect();
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.restarts_this_solve > 0, "conflicts {}", s.conflicts);
+        // A zero-budget fresh solve resets the schedule before any restart
+        // could advance it again.
+        let _ = s.solve_with_budget(0);
+        assert_eq!(s.restarts_this_solve, 0);
     }
 }

@@ -150,6 +150,22 @@ pub struct Simplex {
     upper: Vec<Option<Bound>>,
     assignment: Vec<DeltaRat>,
     rule: PivotRule,
+    /// Undo trail of bound tightenings: `(var, is_upper, previous bound)` per
+    /// accepted tightening, in assertion order. [`Simplex::undo_to`] restores
+    /// the recorded bounds in reverse, which is sound because assertions only
+    /// ever *tighten*: restoring relaxes, so the current assignment (nonbasic
+    /// variables at or within their bounds) stays valid and the tableau —
+    /// equivalent under pivoting to the original defining equations — is
+    /// untouched. This is what makes basis-preserving warm restarts possible:
+    /// retracted rounds only roll back bound changes, never the basis.
+    bound_trail: Vec<(usize, bool, Option<Bound>)>,
+    /// Slack-variable reuse across warm-restart rounds, keyed by the sorted
+    /// linear part of the defining expression (invariant under pivoting: the
+    /// tableau always implies `s = linear part`, however the rows are
+    /// currently arranged). `None` = disabled (the batch path, which drops
+    /// the solver after one check, keeps its historical one-slack-per-call
+    /// behaviour byte for byte).
+    slack_of: Option<FxHashMap<Vec<(usize, Rat)>, usize>>,
     /// Pivot-count statistic.
     pub pivots: u64,
 }
@@ -193,6 +209,39 @@ impl Simplex {
         self.num_vars
     }
 
+    /// Turns on slack-variable reuse: later constraints whose linear part
+    /// matches an earlier one share its slack variable (and therefore combine
+    /// their bounds on it) instead of allocating a fresh variable and row.
+    /// Used by persistent theory sessions, where the same literal is asserted
+    /// again after a retraction and must not grow the tableau each round.
+    pub(crate) fn enable_slack_reuse(&mut self) {
+        if self.slack_of.is_none() {
+            self.slack_of = Some(FxHashMap::default());
+        }
+    }
+
+    /// A restore point for [`Simplex::undo_to`]: the current length of the
+    /// bound-undo trail.
+    pub(crate) fn mark(&self) -> usize {
+        self.bound_trail.len()
+    }
+
+    /// Restores every bound recorded after `mark`, in reverse order. The
+    /// tableau, the assignment and any slack variables introduced since the
+    /// mark are kept: a slack with no bounds can never participate in a
+    /// conflict, and the assignment only becomes *more* feasible as bounds
+    /// relax.
+    pub(crate) fn undo_to(&mut self, mark: usize) {
+        while self.bound_trail.len() > mark {
+            let (x, is_upper, old) = self.bound_trail.pop().expect("trail above mark");
+            if is_upper {
+                self.upper[x] = old;
+            } else {
+                self.lower[x] = old;
+            }
+        }
+    }
+
     /// Adds the constraint `expr rel 0` tagged with `tag`.
     /// Returns `Err(conflict)` on an immediately detected conflict.
     ///
@@ -232,17 +281,34 @@ impl Simplex {
         let (x, scale) = match var {
             Some((v, c)) => (v, c),
             None => {
-                // Introduce a slack variable s = linear part.
-                let s = self.new_var(false);
-                let mut row = FxHashMap::default();
-                for (&v, &c) in &expr.terms {
-                    row.insert(v, c);
+                let key: Option<Vec<(usize, Rat)>> = self.slack_of.is_some().then(|| {
+                    let mut k: Vec<(usize, Rat)> =
+                        expr.terms.iter().map(|(&v, &c)| (v, c)).collect();
+                    k.sort_unstable_by_key(|&(v, _)| v);
+                    k
+                });
+                let reused = key
+                    .as_ref()
+                    .and_then(|k| self.slack_of.as_ref().and_then(|m| m.get(k)).copied());
+                match reused {
+                    Some(s) => (s, Rat::ONE),
+                    None => {
+                        // Introduce a slack variable s = linear part.
+                        let s = self.new_var(false);
+                        let mut row = FxHashMap::default();
+                        for (&v, &c) in &expr.terms {
+                            row.insert(v, c);
+                        }
+                        // Substitute any basic variables appearing in the new row.
+                        let row = self.substitute_basics(row);
+                        self.assignment[s] = self.row_value(&row);
+                        self.rows.insert(s, row);
+                        if let (Some(k), Some(m)) = (key, self.slack_of.as_mut()) {
+                            m.insert(k, s);
+                        }
+                        (s, Rat::ONE)
+                    }
                 }
-                // Substitute any basic variables appearing in the new row.
-                let row = self.substitute_basics(row);
-                self.assignment[s] = self.row_value(&row);
-                self.rows.insert(s, row);
-                (s, Rat::ONE)
             }
         };
         // linear part = scale * x ; constraint: scale*x rel -constant
@@ -299,6 +365,7 @@ impl Simplex {
             None => true,
         };
         if tighter {
+            self.bound_trail.push((x, true, self.upper[x].take()));
             self.upper[x] = Some(Bound { value: c, tag });
             if !self.rows.contains_key(&x) && self.assignment[x] > c {
                 self.update_nonbasic(x, c);
@@ -318,6 +385,7 @@ impl Simplex {
             None => true,
         };
         if tighter {
+            self.bound_trail.push((x, false, self.lower[x].take()));
             self.lower[x] = Some(Bound { value: c, tag });
             if !self.rows.contains_key(&x) && self.assignment[x] < c {
                 self.update_nonbasic(x, c);

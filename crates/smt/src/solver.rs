@@ -177,6 +177,17 @@ pub struct SolverStats {
     pub max_lbd: u64,
     /// Simplex pivots performed across all theory rounds. Merge: **sum**.
     pub pivots: u64,
+    /// Unsatisfiable cores extracted from the activation-literal assumption
+    /// mechanism (at most one per check; summing over a run counts how many
+    /// VCs closed with a core). Always 0 for the batch solver, which asserts
+    /// clauses directly instead of assuming activation literals. Merge:
+    /// **sum**.
+    pub unsat_cores: u64,
+    /// Size of the largest extracted unsat core (number of assumption
+    /// literals the refutation actually used; 0 when no core was extracted
+    /// or the input was unsatisfiable without any assumption). A gauge.
+    /// Merge: **max**.
+    pub unsat_core_size: u64,
 }
 
 impl SolverStats {
@@ -202,6 +213,8 @@ impl SolverStats {
         self.learned_deleted += other.learned_deleted;
         self.max_lbd = self.max_lbd.max(other.max_lbd);
         self.pivots += other.pivots;
+        self.unsat_cores += other.unsat_cores;
+        self.unsat_core_size = self.unsat_core_size.max(other.unsat_core_size);
     }
 }
 
@@ -598,6 +611,8 @@ mod tests {
             learned_deleted: seed + 15,
             max_lbd: seed + 16,
             pivots: seed + 17,
+            unsat_cores: seed + 18,
+            unsat_core_size: seed + 19,
         };
         let (a, b) = (mk(100), mk(5));
         let mut merged = a;
@@ -621,6 +636,8 @@ mod tests {
             learned_deleted,
             max_lbd,
             pivots,
+            unsat_cores,
+            unsat_core_size,
         } = merged;
         // Sums: effort counters and wall-clock times.
         assert_eq!(theory_rounds, a.theory_rounds + b.theory_rounds);
@@ -639,13 +656,16 @@ mod tests {
         assert_eq!(restarts, a.restarts + b.restarts);
         assert_eq!(learned_deleted, a.learned_deleted + b.learned_deleted);
         assert_eq!(pivots, a.pivots + b.pivots);
+        assert_eq!(unsat_cores, a.unsat_cores + b.unsat_cores);
         // Gauges: merge must keep the maximum, in either merge order.
         assert_eq!(learned_kept, a.learned_kept.max(b.learned_kept));
         assert_eq!(max_lbd, a.max_lbd.max(b.max_lbd));
+        assert_eq!(unsat_core_size, a.unsat_core_size.max(b.unsat_core_size));
         let mut reversed = b;
         reversed.merge(&a);
         assert_eq!(reversed.learned_kept, learned_kept);
         assert_eq!(reversed.max_lbd, max_lbd);
+        assert_eq!(reversed.unsat_core_size, unsat_core_size);
     }
 
     #[test]

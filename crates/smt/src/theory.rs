@@ -37,18 +37,18 @@ pub enum TheoryCheck {
 
 /// Sentinel tag for internal axioms (e.g. `true != false`) that must never be
 /// reported in conflicts.
-const AXIOM_TAG: usize = usize::MAX - 1;
+pub(crate) const AXIOM_TAG: usize = usize::MAX - 1;
 
 /// A linear form `Σ cᵢ·leafᵢ + constant` over uninterpreted numeric leaf
 /// terms, precomputed from one side-difference `a − b` of an arithmetic atom.
 #[derive(Clone, Debug, Default)]
-struct LinForm {
-    terms: Vec<(TermId, Rat)>,
-    constant: Rat,
+pub(crate) struct LinForm {
+    pub(crate) terms: Vec<(TermId, Rat)>,
+    pub(crate) constant: Rat,
 }
 
 impl LinForm {
-    fn negated(&self) -> LinForm {
+    pub(crate) fn negated(&self) -> LinForm {
         LinForm {
             terms: self.terms.iter().map(|&(t, c)| (t, -c)).collect(),
             constant: -self.constant,
@@ -58,7 +58,7 @@ impl LinForm {
 
 /// How one theory atom is handled by the checker.
 #[derive(Clone, Debug)]
-enum AtomKind {
+pub(crate) enum AtomKind {
     /// Equality between two terms; `lin` is the linear form of `a − b` when
     /// both sides are numeric (propagated to the simplex on positive
     /// assertion).
@@ -82,13 +82,13 @@ enum AtomKind {
 /// Precomputed theory-checking context for a fixed set of atoms.
 #[derive(Clone, Debug)]
 pub struct TheoryChecker {
-    template: EufTemplate,
-    kinds: FxHashMap<TermId, AtomKind>,
+    pub(crate) template: EufTemplate,
+    pub(crate) kinds: FxHashMap<TermId, AtomKind>,
     /// Whether each numeric leaf term is integer-sorted.
-    leaf_is_int: FxHashMap<TermId, bool>,
+    pub(crate) leaf_is_int: FxHashMap<TermId, bool>,
     /// The Boolean constants, used to constrain predicate atoms.
-    tru: TermId,
-    fls: TermId,
+    pub(crate) tru: TermId,
+    pub(crate) fls: TermId,
 }
 
 impl TheoryChecker {

@@ -235,6 +235,43 @@ proptest! {
         }
     }
 
+    /// The persistent theory trail never leaks across method-scope
+    /// rollbacks: after every `pop_method_scope` the trail holds exactly the
+    /// literals it held before the scope was opened, no matter how many
+    /// checks (and theory conflicts) ran inside the scope — so a structure
+    /// pool cycling thousands of methods cannot accrete theory state.
+    #[test]
+    fn method_scope_rollback_restores_theory_trail(seed in 0u64..48) {
+        let mut rng = XorShift::new(seed.wrapping_add(101));
+        let mut tm = TermManager::new();
+        let universe = Universe::new(&mut tm);
+        let mut pool = IncrementalSolver::with_config(session_config(seed));
+        for _ in 0..(1 + rng.below(2)) {
+            let h = random_formula(&mut rng, &mut tm, &universe, 1);
+            pool.assert(&mut tm, h);
+        }
+        pool.check(&mut tm);
+        for _ in 0..(3 + rng.below(3)) {
+            let before = pool.theory_trail_len();
+            pool.push_method_scope();
+            for _ in 0..rng.below(3) {
+                let h = random_formula(&mut rng, &mut tm, &universe, 2);
+                pool.assert(&mut tm, h);
+            }
+            for _ in 0..(1 + rng.below(3)) {
+                let goal = random_formula(&mut rng, &mut tm, &universe, 2);
+                pool.check_valid_scoped(&mut tm, goal);
+            }
+            pool.pop_method_scope();
+            prop_assert_eq!(
+                pool.theory_trail_len(),
+                before,
+                "seed {}: trail leaked across pop_method_scope",
+                seed
+            );
+        }
+    }
+
     /// `check_valid_scoped` agrees with the batch solver's `check_valid` on
     /// hypothesis-entailment queries (the VC shape).
     #[test]

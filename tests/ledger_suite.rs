@@ -6,7 +6,7 @@ use std::path::Path;
 
 use ids_driver::ledger::{
     append_run, compare, history_lines, load_runs, CompareOpts, RunMeta, RunRecord, VcLedgerEntry,
-    PHASES, SOLVER_COUNTERS,
+    LEDGER_SCHEMA, PHASES, SOLVER_COUNTERS,
 };
 use ids_obs::{HistogramSet, Metric};
 
@@ -50,14 +50,14 @@ fn sample_vc(key: u128, solve_ms: f64, euf_s: f64) -> VcLedgerEntry {
         queue_ms: 0.25,
         solve_ms,
         phases: [0.001, 0.0625, euf_s, 0.03125, 0.015625],
-        solver: [9, 8, 7, 6, 5, 40, 3, 2],
+        solver: [9, 8, 7, 6, 5, 40, 3, 2, 1, 11],
         hists,
     }
 }
 
 fn sample_record(timestamp: u64, solve_ms: f64, euf_s: f64) -> RunRecord {
     RunRecord {
-        schema: 1,
+        schema: LEDGER_SCHEMA,
         meta: sample_meta(timestamp),
         vcs: (0..3)
             .map(|i| sample_vc(0x1000 + i as u128, solve_ms, euf_s))
@@ -73,7 +73,7 @@ fn schema_round_trips_exactly() {
     let parsed = RunRecord::parse(&line).expect("parse own output");
     assert_eq!(parsed, record, "write -> parse must be the identity");
     // Field spot-checks so a silently-permissive PartialEq can't hide a bug.
-    assert_eq!(parsed.schema, 1);
+    assert_eq!(parsed.schema, LEDGER_SCHEMA);
     assert_eq!(parsed.meta.hostname, "test-host");
     assert_eq!(parsed.vcs.len(), 3);
     let vc = &parsed.vcs[0];
@@ -84,6 +84,42 @@ fn schema_round_trips_exactly() {
     assert_eq!(h.count(), 4);
     assert_eq!(h.max(), 70_000);
     assert!(vc.hists.get(Metric::ConflictGapUs).is_empty());
+}
+
+/// Schema-1 lines (pre unsat-core counters) must keep parsing so the CI
+/// baseline and local history ledgers written before the v2 bump stay
+/// comparable; the counters they lack read back as zero.
+#[test]
+fn schema_v1_lines_still_parse_with_zeroed_new_counters() {
+    let record = sample_record(7, 50.0, 0.01);
+    let mut line = record.to_json_line();
+    // Rewrite the line into its v1 form: old schema tag, no new counters.
+    line = line.replacen(&format!("\"schema\":{}", LEDGER_SCHEMA), "\"schema\":1", 1);
+    line = line.replace(",\"unsat_cores\":1,\"unsat_core_size\":11", "");
+    assert!(!line.contains("unsat_core"), "v1 line built incorrectly");
+    let parsed = RunRecord::parse(&line).expect("v1 line parses");
+    assert_eq!(parsed.schema, 1);
+    let cores_idx = SOLVER_COUNTERS
+        .iter()
+        .position(|&c| c == "unsat_cores")
+        .unwrap();
+    let size_idx = SOLVER_COUNTERS
+        .iter()
+        .position(|&c| c == "unsat_core_size")
+        .unwrap();
+    for vc in &parsed.vcs {
+        assert_eq!(vc.solver[cores_idx], 0);
+        assert_eq!(vc.solver[size_idx], 0);
+        // The shared prefix of the counter array is intact.
+        assert_eq!(&vc.solver[..8], &record.vcs[0].solver[..8]);
+    }
+    // A future schema is still foreign and must be rejected.
+    let future = record.to_json_line().replacen(
+        &format!("\"schema\":{}", LEDGER_SCHEMA),
+        "\"schema\":99",
+        1,
+    );
+    assert!(RunRecord::parse(&future).is_err());
 }
 
 #[test]
