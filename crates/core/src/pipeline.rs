@@ -153,6 +153,11 @@ pub struct VcReport {
     /// Per-VC solver-dynamics histograms (empty unless metrics were armed
     /// via [`ids_obs::set_metrics`], and for cached results).
     pub hists: ids_obs::HistogramSet,
+    /// The unsat core of a Valid verdict: which of the VC's positional
+    /// hypotheses the refutation of the negated goal used (`Some(vec![])` if
+    /// none at all). `None` for refuted/unknown/cached VCs and on the
+    /// fresh-solver (non-session) path.
+    pub core: Option<Vec<u32>>,
 }
 
 /// The verdict of one verification condition.
@@ -184,6 +189,8 @@ pub struct VcResult {
     pub cached: bool,
     /// Per-VC solver-dynamics histograms (empty unless metrics are armed).
     pub hists: ids_obs::HistogramSet,
+    /// The unsat core of a Valid verdict (see [`VcReport::core`]).
+    pub core: Option<Vec<u32>>,
 }
 
 impl VcResult {
@@ -197,6 +204,7 @@ impl VcResult {
             queue_time: Duration::ZERO,
             cached: true,
             hists: ids_obs::HistogramSet::default(),
+            core: None,
         }
     }
 }
@@ -243,6 +251,14 @@ pub struct MethodTask {
     pub wellbehaved_violations: Vec<Violation>,
     /// Ghost-code legality violations.
     pub ghost_violations: Vec<GhostViolation>,
+    /// Per-VC hypothesis-slice hints (one slot per VC, `None` = no hint):
+    /// positional hypothesis indices — a previously recorded unsat core — to
+    /// assert *first* when the VC is checked through a session. A Valid
+    /// verdict on the slice is sound as-is; anything else falls back to the
+    /// full hypothesis set, so hints can never change a verdict. Filled by
+    /// the batch driver from the VC cache on `--recheck`; empty hints
+    /// everywhere by default.
+    pub slice_hints: Vec<Option<Vec<u32>>>,
 }
 
 impl MethodTask {
@@ -290,6 +306,7 @@ impl MethodTask {
             queue_time: Duration::ZERO,
             hists: ids_obs::vc_take(),
             cached: false,
+            core: None,
         }
     }
 
@@ -360,6 +377,7 @@ impl MethodTask {
                 cached: r.cached,
                 solver: r.stats,
                 hists: r.hists.clone(),
+                core: r.core.clone(),
             });
         }
         for r in &ordered {
@@ -454,14 +472,22 @@ impl<'a> MethodSession<'a> {
     }
 
     /// Discharges one VC inside the session. Semantics (verdict kind, per-VC
-    /// statistics shape) match [`MethodTask::check_vc`].
+    /// statistics shape) match [`MethodTask::check_vc`]. The task's
+    /// [`slice hint`](MethodTask::slice_hints) for this VC, if any, is tried
+    /// first (sound: a failed slice falls back to the full hypothesis set).
     pub fn check_vc(&mut self, vc_index: usize) -> VcResult {
         let _obs = VcObsScope::open(&self.task.vcs[vc_index].description);
         let start = Instant::now();
-        let (result, stats) = self.session.check_vc(
+        let hint = self
+            .task
+            .slice_hints
+            .get(vc_index)
+            .and_then(|h| h.as_deref());
+        let (result, stats, core) = self.session.check_vc_sliced(
             &mut self.tm,
             &self.task.hypotheses,
             &self.task.vcs[vc_index],
+            hint,
         );
         let verdict = match result {
             SatResult::Sat => VcVerdict::Valid,
@@ -476,6 +502,7 @@ impl<'a> MethodSession<'a> {
             queue_time: Duration::ZERO,
             cached: false,
             hists: ids_obs::vc_take(),
+            core,
         }
     }
 }
@@ -510,6 +537,9 @@ pub struct StructureSession {
 struct ImportedMethod {
     hypotheses: Vec<TermId>,
     vcs: Vec<Vc>,
+    /// Slice hints are positional (hypothesis indices), so they survive the
+    /// import unchanged.
+    hints: Vec<Option<Vec<u32>>>,
 }
 
 impl StructureSession {
@@ -559,7 +589,11 @@ impl StructureSession {
                         goal: memo[&vc.goal],
                     })
                     .collect();
-                ImportedMethod { hypotheses, vcs }
+                ImportedMethod {
+                    hypotheses,
+                    vcs,
+                    hints: task.slice_hints.clone(),
+                }
             })
             .collect();
         // The prelude was identified by structural hash across managers;
@@ -616,9 +650,13 @@ impl StructureSession {
         let _obs = VcObsScope::open(&self.methods[method_idx].vcs[vc_index].description);
         let start = Instant::now();
         let method = &self.methods[method_idx];
-        let (result, stats) =
-            self.session
-                .check_vc(&mut self.tm, &method.hypotheses, &method.vcs[vc_index]);
+        let hint = method.hints.get(vc_index).and_then(|h| h.as_deref());
+        let (result, stats, core) = self.session.check_vc_sliced(
+            &mut self.tm,
+            &method.hypotheses,
+            &method.vcs[vc_index],
+            hint,
+        );
         let verdict = match result {
             SatResult::Sat => VcVerdict::Valid,
             SatResult::Unsat => VcVerdict::Refuted,
@@ -632,6 +670,7 @@ impl StructureSession {
             queue_time: Duration::ZERO,
             cached: false,
             hists: ids_obs::vc_take(),
+            core,
         }
     }
 
@@ -738,6 +777,7 @@ pub fn prepare_method_in(
         structure: ids.name.clone(),
         method: method.to_string(),
         tm,
+        slice_hints: vec![None; generated.vcs.len()],
         vcs: generated.vcs,
         hypotheses: generated.hypotheses,
         encoding: config.encoding,
@@ -778,6 +818,7 @@ pub fn prepare_plain(
         structure: structure.to_string(),
         method: method.to_string(),
         tm,
+        slice_hints: vec![None; generated.vcs.len()],
         vcs: generated.vcs,
         hypotheses: generated.hypotheses,
         encoding: config.encoding,

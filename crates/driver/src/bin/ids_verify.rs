@@ -81,6 +81,16 @@ OPTIONS:
                        ids-verify compare / history. Defaults to
                        <cache>.ledger.jsonl whenever --cache is given
     --no-ledger        disable the implicit --cache ledger
+    --recheck          ignore cached verdicts and re-solve every VC; cached
+                       unsat cores still serve as hypothesis-slice hints
+                       (see --slice-hyps). Recomputed verdicts and cores are
+                       written back to the cache
+    --slice-hyps       on a --recheck, assert only each VC's previously
+                       recorded unsat-core hypothesis subset first, falling
+                       back to the full set when the slice is inconclusive
+                       (default on; verdicts are identical either way)
+    --no-slice-hyps    disable slice hints: --recheck re-solves every VC from
+                       the full hypothesis set
     --vc-timeout SECS  watchdog: when a VC is in flight longer than SECS,
                        dump a stuck-VC dossier to stderr (current phase,
                        heartbeat trail, histogram snapshot) — once per VC
@@ -110,6 +120,8 @@ struct Options {
     heartbeat: Option<u64>,
     ledger: Option<PathBuf>,
     no_ledger: bool,
+    recheck: bool,
+    slice_hyps: bool,
     vc_timeout: Option<u64>,
     threshold_pct: Option<f64>,
     threshold_ms: Option<f64>,
@@ -139,6 +151,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         heartbeat: None,
         ledger: None,
         no_ledger: false,
+        recheck: false,
+        slice_hyps: true,
         vc_timeout: None,
         threshold_pct: None,
         threshold_ms: None,
@@ -196,6 +210,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--ledger" => o.ledger = Some(PathBuf::from(value_of("--ledger")?)),
             "--no-ledger" => o.no_ledger = true,
+            "--recheck" => o.recheck = true,
+            "--slice-hyps" => o.slice_hyps = true,
+            "--no-slice-hyps" => o.slice_hyps = false,
             "--vc-timeout" => {
                 let v = value_of("--vc-timeout")?;
                 o.vc_timeout = Some(
@@ -241,6 +258,8 @@ fn driver_config(o: &Options) -> DriverConfig {
         pool_mode: o.pool_mode,
         solver_profile: o.solver_profile,
         ledger_path: ledger_path(o),
+        recheck: o.recheck,
+        slice_hyps: o.slice_hyps,
         ..DriverConfig::default()
     };
     if let Some(jobs) = o.jobs {
@@ -1004,6 +1023,9 @@ fn solver_json(j: &mut Json, s: &SolverStats) {
     j.num_field("pivots", s.pivots as f64);
     j.num_field("unsat_cores", s.unsat_cores as f64);
     j.num_field("unsat_core_size", s.unsat_core_size as f64);
+    j.num_field("slice_hits", s.slice_hits as f64);
+    j.num_field("slice_fallbacks", s.slice_fallbacks as f64);
+    j.num_field("slice_dropped_hyps", s.slice_dropped_hyps as f64);
     j.end_object();
 }
 
@@ -1096,6 +1118,17 @@ fn to_json(batch: &BatchReport, config: &DriverConfig, command: &str) -> String 
             j.num_field("solve_ms", vc.wall_time.as_secs_f64() * 1e3);
             j.num_field("unsat_cores", vc.solver.unsat_cores as f64);
             j.num_field("unsat_core_size", vc.solver.unsat_core_size as f64);
+            j.num_field("slice_hits", vc.solver.slice_hits as f64);
+            j.num_field("slice_fallbacks", vc.solver.slice_fallbacks as f64);
+            j.num_field("slice_dropped_hyps", vc.solver.slice_dropped_hyps as f64);
+            if let Some(core) = &vc.core {
+                j.key("core");
+                j.begin_array();
+                for &t in core {
+                    j.num_value(t as f64);
+                }
+                j.end_array();
+            }
             j.key("phases");
             phases_json(&mut j, &vc.solver, vc.wall_time);
             if !vc.hists.is_empty() {

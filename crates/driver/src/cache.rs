@@ -12,21 +12,27 @@
 //! environment has no serialization crates):
 //!
 //! ```text
-//! ids-vc-cache v2 fp=0000000000000002
-//! 00731f95c3a1be8e55f20ac7135a4d22 V
+//! ids-vc-cache v3 fp=0000000000000002
+//! 00731f95c3a1be8e55f20ac7135a4d22 V #0,3,7
 //! 2b9e0d4c81f6a3570c44de9a0b6f1e88 R
+//! 5c11a0f2e94d38b6071cc5529ae07d41 V #
 //! ```
 //!
 //! Line 1 is a magic+version header carrying the solver-logic fingerprint
 //! ([`ids_smt::SOLVER_LOGIC_FINGERPRINT`]); every following line is the
-//! zero-padded lowercase hex key and a verdict letter (`V`alid /
-//! `R`efuted). Undecided VCs are never cached (they should be re-attempted).
+//! zero-padded lowercase hex key, a verdict letter (`V`alid / `R`efuted),
+//! and an optional `#`-prefixed unsat core — the comma-separated positional
+//! hypothesis indices the refutation of the negated goal actually used. A
+//! bare `#` is an *empty* core (the goal needed no hypothesis); no third
+//! token means no core was recorded. Cores are slicing *hints* for
+//! re-verification, never trusted for verdicts. Undecided VCs are never
+//! cached (they should be re-attempted).
 //!
 //! A file with an unknown header or a malformed line is ignored wholesale —
 //! a cache is always safe to delete or truncate. Because a VC's key hashes
 //! only its *formula*, a verdict is stale the moment the solver or lowering
-//! logic changes; the fingerprint in the header makes such caches (v1 files
-//! included) read as empty instead of silently replaying old verdicts.
+//! logic changes; the fingerprint in the header makes such caches (v1 and v2
+//! files included) read as empty instead of silently replaying old verdicts.
 //!
 //! # Concurrent runs
 //!
@@ -51,9 +57,18 @@ use ids_core::pipeline::VcVerdict;
 /// The file header identifying format version and solver-logic generation.
 fn header() -> String {
     format!(
-        "ids-vc-cache v2 fp={:016x}",
+        "ids-vc-cache v3 fp={:016x}",
         ids_smt::SOLVER_LOGIC_FINGERPRINT
     )
+}
+
+/// One cached VC: its verdict plus, when one was recorded, the unsat core —
+/// the positional hypothesis indices the refutation used, kept as a slicing
+/// hint for later re-verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct CacheEntry {
+    verdict: VcVerdict,
+    core: Option<Vec<u32>>,
 }
 
 /// An advisory cross-process lock: a lockfile created with `create_new`
@@ -148,7 +163,7 @@ impl Drop for CacheLock {
 /// An in-memory VC verdict cache with optional on-disk persistence.
 #[derive(Clone, Debug, Default)]
 pub struct VcCache {
-    entries: HashMap<u128, VcVerdict>,
+    entries: HashMap<u128, CacheEntry>,
     dirty: bool,
 }
 
@@ -179,18 +194,42 @@ impl VcCache {
             if line.is_empty() {
                 continue;
             }
-            let Some((key_hex, verdict)) = line.split_once(' ') else {
+            let Some((key_hex, rest)) = line.split_once(' ') else {
                 return Ok(VcCache::new());
             };
             let Ok(key) = u128::from_str_radix(key_hex, 16) else {
                 return Ok(VcCache::new());
+            };
+            let (verdict, core_tok) = match rest.split_once(' ') {
+                Some((v, c)) => (v, Some(c)),
+                None => (rest, None),
             };
             let verdict = match verdict {
                 "V" => VcVerdict::Valid,
                 "R" => VcVerdict::Refuted,
                 _ => return Ok(VcCache::new()),
             };
-            entries.insert(key, verdict);
+            let core = match core_tok {
+                None => None,
+                Some(tok) => {
+                    let Some(list) = tok.strip_prefix('#') else {
+                        return Ok(VcCache::new());
+                    };
+                    if list.is_empty() {
+                        Some(Vec::new())
+                    } else {
+                        let mut indices = Vec::new();
+                        for part in list.split(',') {
+                            let Ok(n) = part.parse::<u32>() else {
+                                return Ok(VcCache::new());
+                            };
+                            indices.push(n);
+                        }
+                        Some(indices)
+                    }
+                }
+            };
+            entries.insert(key, CacheEntry { verdict, core });
         }
         Ok(VcCache {
             entries,
@@ -209,12 +248,23 @@ impl VcCache {
         out.push_str(&header());
         out.push('\n');
         for k in keys {
-            let letter = match self.entries[k] {
+            let entry = &self.entries[k];
+            let letter = match entry.verdict {
                 VcVerdict::Valid => 'V',
                 VcVerdict::Refuted => 'R',
                 VcVerdict::Unknown => continue,
             };
-            out.push_str(&format!("{:032x} {}\n", k, letter));
+            out.push_str(&format!("{:032x} {}", k, letter));
+            if let Some(core) = &entry.core {
+                out.push_str(" #");
+                for (i, t) in core.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&t.to_string());
+                }
+            }
+            out.push('\n');
         }
         let tmp = {
             // Unique per call, not just per process: two threads racing past
@@ -248,27 +298,87 @@ impl VcCache {
 
     /// Merges another cache's entries into this one. Existing entries win on
     /// conflict (they are this run's freshly computed verdicts; a well-formed
-    /// cache never disagrees on a key within one solver generation anyway).
+    /// cache never disagrees on a key within one solver generation anyway) —
+    /// except that a core-less entry is completed by the other side's core
+    /// when the verdicts agree, so a slicing hint computed by a concurrent
+    /// run is never discarded.
     pub fn absorb(&mut self, other: VcCache) {
-        for (key, verdict) in other.entries {
-            if let std::collections::hash_map::Entry::Vacant(slot) = self.entries.entry(key) {
-                slot.insert(verdict);
-                self.dirty = true;
+        for (key, entry) in other.entries {
+            match self.entries.entry(key) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(entry);
+                    self.dirty = true;
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    let mine = slot.get_mut();
+                    if mine.core.is_none() && mine.verdict == entry.verdict && entry.core.is_some()
+                    {
+                        mine.core = entry.core;
+                        self.dirty = true;
+                    }
+                }
             }
         }
     }
 
     /// Looks up a verdict.
     pub fn get(&self, key: u128) -> Option<VcVerdict> {
-        self.entries.get(&key).copied()
+        self.entries.get(&key).map(|e| e.verdict)
     }
 
-    /// Records a verdict. `Unknown` verdicts are not cached.
+    /// Looks up the recorded unsat core (the hypothesis-slice hint), if any.
+    /// `Some(&[])` is a real (empty) core; `None` means none was recorded.
+    pub fn get_core(&self, key: u128) -> Option<&[u32]> {
+        self.entries.get(&key).and_then(|e| e.core.as_deref())
+    }
+
+    /// Records a verdict. `Unknown` verdicts are not cached. A core already
+    /// recorded under the same verdict is kept — re-confirming a verdict
+    /// (e.g. from a cache hit or a dedup within the batch) must not erase
+    /// the slicing hint.
     pub fn insert(&mut self, key: u128, verdict: VcVerdict) {
         if verdict == VcVerdict::Unknown {
             return;
         }
-        if self.entries.insert(key, verdict) != Some(verdict) {
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(CacheEntry {
+                    verdict,
+                    core: None,
+                });
+                self.dirty = true;
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let entry = slot.get_mut();
+                if entry.verdict != verdict {
+                    // A verdict flip within one generation is pathological;
+                    // whatever core went with the old verdict is meaningless.
+                    *entry = CacheEntry {
+                        verdict,
+                        core: None,
+                    };
+                    self.dirty = true;
+                }
+            }
+        }
+    }
+
+    /// Records a verdict together with its unsat core. `Unknown` verdicts
+    /// are not cached; a `None` core behaves exactly like [`VcCache::insert`].
+    pub fn insert_core(&mut self, key: u128, verdict: VcVerdict, core: Option<Vec<u32>>) {
+        if verdict == VcVerdict::Unknown {
+            return;
+        }
+        let Some(core) = core else {
+            self.insert(key, verdict);
+            return;
+        };
+        let entry = CacheEntry {
+            verdict,
+            core: Some(core),
+        };
+        if self.entries.get(&key) != Some(&entry) {
+            self.entries.insert(key, entry);
             self.dirty = true;
         }
     }
@@ -323,6 +433,75 @@ mod tests {
     }
 
     #[test]
+    fn cores_roundtrip_through_disk() {
+        let path = temp_path("core-roundtrip");
+        let mut cache = VcCache::new();
+        cache.insert_core(1, VcVerdict::Valid, Some(vec![0, 3, 7]));
+        cache.insert_core(2, VcVerdict::Valid, Some(vec![])); // empty core: `#`
+        cache.insert_core(3, VcVerdict::Valid, None); // no core recorded
+        cache.insert(4, VcVerdict::Refuted);
+        cache.save(&path).unwrap();
+
+        let loaded = VcCache::load(&path).unwrap();
+        assert_eq!(loaded.get_core(1), Some(&[0, 3, 7][..]));
+        assert_eq!(loaded.get_core(2), Some(&[][..]));
+        assert_eq!(loaded.get_core(3), None);
+        assert_eq!(loaded.get(3), Some(VcVerdict::Valid));
+        assert_eq!(loaded.get_core(4), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reconfirming_a_verdict_keeps_the_core() {
+        let mut cache = VcCache::new();
+        cache.insert_core(1, VcVerdict::Valid, Some(vec![2, 5]));
+        // A plain verdict re-insert (cache hit, dedup) must not erase the
+        // slicing hint...
+        cache.insert(1, VcVerdict::Valid);
+        assert_eq!(cache.get_core(1), Some(&[2, 5][..]));
+        // ...and neither must an insert_core with no core to offer.
+        cache.insert_core(1, VcVerdict::Valid, None);
+        assert_eq!(cache.get_core(1), Some(&[2, 5][..]));
+        // A verdict flip invalidates the core with the verdict.
+        cache.insert(1, VcVerdict::Refuted);
+        assert_eq!(cache.get(1), Some(VcVerdict::Refuted));
+        assert_eq!(cache.get_core(1), None);
+    }
+
+    #[test]
+    fn absorb_completes_missing_cores_but_never_overrides() {
+        let mut mine = VcCache::new();
+        mine.insert(1, VcVerdict::Valid); // no core yet
+        mine.insert_core(2, VcVerdict::Valid, Some(vec![9]));
+        let mut theirs = VcCache::new();
+        theirs.insert_core(1, VcVerdict::Valid, Some(vec![4, 6]));
+        theirs.insert_core(2, VcVerdict::Valid, Some(vec![0, 1, 2]));
+        theirs.insert(3, VcVerdict::Refuted);
+        mine.absorb(theirs);
+        // Filled where missing, kept where present, unioned where vacant.
+        assert_eq!(mine.get_core(1), Some(&[4, 6][..]));
+        assert_eq!(mine.get_core(2), Some(&[9][..]));
+        assert_eq!(mine.get(3), Some(VcVerdict::Refuted));
+    }
+
+    #[test]
+    fn malformed_core_tokens_invalidate_the_file() {
+        let path = temp_path("bad-core");
+        for bad in [
+            "00000000000000000000000000000001 V 0,1\n", // missing '#'
+            "00000000000000000000000000000001 V #x\n",  // non-numeric index
+            "00000000000000000000000000000001 V #1,\n", // trailing comma
+        ] {
+            std::fs::write(&path, format!("{}\n{}", header(), bad)).unwrap();
+            assert!(
+                VcCache::load(&path).unwrap().is_empty(),
+                "accepted malformed line {bad:?}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn missing_file_is_empty() {
         let cache = VcCache::load(&temp_path("missing-never-created")).unwrap();
         assert!(cache.is_empty());
@@ -345,10 +524,22 @@ mod tests {
         let path = temp_path("v1-stale");
         std::fs::write(&path, format!("ids-vc-cache v1\n{}", key_line)).unwrap();
         assert!(VcCache::load(&path).unwrap().is_empty());
-        // A v2 cache from a different solver generation is equally stale.
+        // A v2 cache reads as empty even at the current fingerprint — the
+        // version bump itself invalidates (same discipline as v1→v2).
         std::fs::write(
             &path,
-            format!("ids-vc-cache v2 fp=00000000deadbeef\n{}", key_line),
+            format!(
+                "ids-vc-cache v2 fp={:016x}\n{}",
+                ids_smt::SOLVER_LOGIC_FINGERPRINT,
+                key_line
+            ),
+        )
+        .unwrap();
+        assert!(VcCache::load(&path).unwrap().is_empty());
+        // A v3 cache from a different solver generation is equally stale.
+        std::fs::write(
+            &path,
+            format!("ids-vc-cache v3 fp=00000000deadbeef\n{}", key_line),
         )
         .unwrap();
         assert!(VcCache::load(&path).unwrap().is_empty());

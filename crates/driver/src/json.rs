@@ -355,19 +355,28 @@ impl<'a> Parser<'a> {
                         b'u' => {
                             let hi = self.hex4()?;
                             let c = if (0xD800..0xDC00).contains(&hi) {
-                                // Surrogate pair: expect \uXXXX low half.
+                                // Surrogate pair: the high half must be
+                                // immediately followed by a \uXXXX low half in
+                                // 0xDC00..0xE000. Anything else (lone high,
+                                // mismatched pair) is a parse error, never a
+                                // garbage code point.
                                 if self.peek() == Some(b'\\') {
                                     self.pos += 1;
                                     self.expect(b'u')?;
                                     let lo = self.hex4()?;
-                                    let combined = 0x10000
-                                        + ((hi - 0xD800) << 10)
-                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
-                                    char::from_u32(combined)
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        let combined =
+                                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                        char::from_u32(combined)
+                                    } else {
+                                        None
+                                    }
                                 } else {
                                     None
                                 }
                             } else {
+                                // from_u32 rejects lone low surrogates
+                                // (0xDC00..0xE000) on its own.
                                 char::from_u32(hi)
                             };
                             out.push(c.ok_or_else(|| "invalid \\u escape".to_string())?);
@@ -497,5 +506,37 @@ mod tests {
         assert!(Value::parse("[1,]").is_err());
         assert!(Value::parse("{\"a\":1} extra").is_err());
         assert!(Value::parse("nul").is_err());
+    }
+
+    #[test]
+    fn malformed_unicode_escapes_are_rejected() {
+        // Lone high surrogate: end of string, plain text, or a non-\u escape
+        // where the low half should be.
+        assert!(Value::parse("\"\\uD83D\"").is_err());
+        assert!(Value::parse("\"\\uD83Dx\"").is_err());
+        assert!(Value::parse("\"\\uD83D\\n\"").is_err());
+        // Lone low surrogate.
+        assert!(Value::parse("\"\\uDE00\"").is_err());
+        // Mismatched pair: second escape is not a low surrogate. The old
+        // decoder masked this into an unrelated code point.
+        assert!(Value::parse("\"\\uD83D\\u0041\"").is_err());
+        // High surrogate followed by another high surrogate.
+        assert!(Value::parse("\"\\uD83D\\uD83D\"").is_err());
+        // Truncated escapes: fewer than four hex digits before the quote or
+        // end of input.
+        assert!(Value::parse("\"\\u00\"").is_err());
+        assert!(Value::parse("\"\\u").is_err());
+        assert!(Value::parse("\"\\uD83D\\uDE\"").is_err());
+        // Non-hex digits in the escape body.
+        assert!(Value::parse("\"\\uZZZZ\"").is_err());
+        // Well-formed neighbours still parse.
+        assert_eq!(
+            Value::parse("\"\\uD83D\\uDE00\"").unwrap(),
+            Value::Str("😀".to_string())
+        );
+        assert_eq!(
+            Value::parse("\"\\uFFFD\"").unwrap(),
+            Value::Str("\u{FFFD}".to_string())
+        );
     }
 }

@@ -38,9 +38,13 @@ use crate::{DriverConfig, DriverStats};
 /// Current ledger schema version; bump when a field changes meaning.
 ///
 /// History: v2 appended the `unsat_cores` / `unsat_core_size` solver
-/// counters (assumption-core extraction). v1 lines still parse — the new
-/// counters read as zero — so pre-bump baselines remain comparable.
-pub const LEDGER_SCHEMA: u64 = 2;
+/// counters (assumption-core extraction). v3 appended the `slice_hits` /
+/// `slice_fallbacks` / `slice_dropped_hyps` counters (unsat-core-driven
+/// hypothesis slicing) and the optional per-VC `core` array (the positional
+/// hypothesis indices a Valid verdict's refutation used). Older lines still
+/// parse — the new counters read as zero, the core as absent — so pre-bump
+/// baselines remain comparable.
+pub const LEDGER_SCHEMA: u64 = 3;
 
 /// Oldest schema version [`RunRecord::parse`] still accepts.
 pub const LEDGER_SCHEMA_MIN: u64 = 1;
@@ -100,13 +104,17 @@ pub struct VcLedgerEntry {
     pub solver: [u64; SOLVER_COUNTERS.len()],
     /// Solver-dynamics histograms (empty unless metrics were armed).
     pub hists: HistogramSet,
+    /// The unsat core of a Valid verdict: positional hypothesis indices the
+    /// refutation used (`Some(vec![])` = none at all). Absent on pre-v3
+    /// lines, refuted/unknown/cached rows and the fresh-solver path.
+    pub core: Option<Vec<u32>>,
 }
 
 /// The phase names of [`VcLedgerEntry::phases`], in storage order.
 pub const PHASES: [&str; 5] = ["lower", "sat", "euf", "simplex", "overhead"];
 
 /// The counter names of [`VcLedgerEntry::solver`], in storage order.
-pub const SOLVER_COUNTERS: [&str; 10] = [
+pub const SOLVER_COUNTERS: [&str; 13] = [
     "theory_rounds",
     "conflicts",
     "decisions",
@@ -117,6 +125,9 @@ pub const SOLVER_COUNTERS: [&str; 10] = [
     "max_lbd",
     "unsat_cores",
     "unsat_core_size",
+    "slice_hits",
+    "slice_fallbacks",
+    "slice_dropped_hyps",
 ];
 
 /// One run's ledger record: metadata plus one entry per discharged VC.
@@ -177,8 +188,12 @@ fn vc_entry(task: &MethodTask, vc: &VcReport) -> VcLedgerEntry {
             vc.solver.max_lbd,
             vc.solver.unsat_cores,
             vc.solver.unsat_core_size,
+            vc.solver.slice_hits,
+            vc.solver.slice_fallbacks,
+            vc.solver.slice_dropped_hyps,
         ],
         hists: vc.hists.clone(),
+        core: vc.core.clone(),
     }
 }
 
@@ -259,6 +274,14 @@ impl RunRecord {
                 j.num_field(name, v as f64);
             }
             j.end_object();
+            if let Some(core) = &vc.core {
+                j.key("core");
+                j.begin_array();
+                for &t in core {
+                    j.num_value(t as f64);
+                }
+                j.end_array();
+            }
             if !vc.hists.is_empty() {
                 j.key("hists");
                 j.begin_object();
@@ -396,6 +419,12 @@ fn parse_vc(vc: &Value) -> Result<VcLedgerEntry, String> {
             );
         }
     }
+    let core = vc.get("core").and_then(Value::as_array).map(|a| {
+        a.iter()
+            .filter_map(Value::as_u64)
+            .map(|n| n as u32)
+            .collect()
+    });
     Ok(VcLedgerEntry {
         key,
         structure: s("structure")?,
@@ -409,6 +438,7 @@ fn parse_vc(vc: &Value) -> Result<VcLedgerEntry, String> {
         phases,
         solver,
         hists,
+        core,
     })
 }
 
@@ -614,17 +644,22 @@ pub fn compare(base: &RunRecord, new: &RunRecord, opts: &CompareOpts) -> Compare
         }
         let cached = b.cached || n.cached;
         let delta_ms = n.solve_ms - b.solve_ms;
+        // A zero-ms baseline (fully cached, or a run predating per-VC
+        // timing) makes the percentage gate vacuous — any delta would be
+        // infinitely many percent — so such rows are excluded from timing
+        // classification entirely, like cached rows.
+        let timed = !cached && b.solve_ms > 0.0;
         let past_thresholds = delta_ms.abs() > opts.threshold_ms
             && delta_ms.abs() > b.solve_ms * opts.threshold_pct / 100.0;
-        let regressed = !cached && past_thresholds && delta_ms > 0.0;
-        let improved = !cached && past_thresholds && delta_ms < 0.0;
+        let regressed = timed && past_thresholds && delta_ms > 0.0;
+        let improved = timed && past_thresholds && delta_ms < 0.0;
         if regressed {
             report.regressions += 1;
         }
         if improved {
             report.improvements += 1;
         }
-        let (attributed_phase, attribution) = if !cached && (regressed || improved) {
+        let (attributed_phase, attribution) = if regressed || improved {
             attribute(b, n, regressed)
         } else {
             (None, String::new())

@@ -130,6 +130,16 @@ pub struct DriverConfig {
     /// schema-versioned [`ledger::RunRecord`] line (see [`ledger`]). `None`
     /// disables longitudinal recording.
     pub ledger_path: Option<PathBuf>,
+    /// Re-verification mode (`--recheck`): cached *verdicts* are ignored —
+    /// every VC is re-solved — but cached unsat *cores* remain available as
+    /// hypothesis-slice hints. Recomputed verdicts and cores are stored back.
+    pub recheck: bool,
+    /// Use cached unsat cores as hypothesis-slice hints on a re-check
+    /// (`--slice-hyps`, on by default): a hinted VC asserts only its cored
+    /// hypothesis subset first, falling back to the full set when the slice
+    /// is inconclusive. Never changes verdicts or cache keys; `false`
+    /// (`--no-slice-hyps`) re-solves everything from the full hypothesis set.
+    pub slice_hyps: bool,
 }
 
 impl Default for DriverConfig {
@@ -143,6 +153,8 @@ impl Default for DriverConfig {
             pool_mode: PoolMode::default(),
             solver_profile: SolverProfile::default(),
             ledger_path: None,
+            recheck: false,
+            slice_hyps: true,
         }
     }
 }
@@ -318,7 +330,7 @@ pub fn verify_selections(selections: &[Selection], config: &DriverConfig) -> Bat
 ///
 /// This is the lowest-level entry point; `ids-verify verify <file>` uses it
 /// with tasks built by [`ids_core::pipeline::prepare_plain`].
-pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchReport {
+pub fn verify_tasks(mut tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchReport {
     let start = Instant::now();
     let mut cache = match &config.cache_path {
         Some(path) => VcCache::load(path).unwrap_or_else(|e| {
@@ -351,10 +363,24 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
         .iter()
         .map(|t| (0..t.num_vcs()).map(|vi| t.vc_key(vi)).collect())
         .collect();
+    // Re-check mode: cached verdicts are NOT replayed (the whole point is to
+    // re-solve), but cached unsat cores become hypothesis-slice hints — the
+    // sessions assert only the cored subset first, falling back soundly when
+    // the slice is inconclusive.
+    if config.recheck && config.slice_hyps {
+        for (ti, task_keys) in keys.iter().enumerate() {
+            for (vi, &key) in task_keys.iter().enumerate() {
+                if let Some(core) = cache.get_core(key) {
+                    tasks[ti].slice_hints[vi] = Some(core.to_vec());
+                }
+            }
+        }
+    }
     for (ti, slots) in results.iter_mut().enumerate() {
         for (vi, slot) in slots.iter_mut().enumerate() {
             let key = keys[ti][vi];
-            if let Some(verdict) = cache.get(key) {
+            let known = if config.recheck { None } else { cache.get(key) };
+            if let Some(verdict) = known {
                 *slot = Some(VcResult::from_cache(vi, verdict));
                 cache_hits += 1;
                 ids_obs::instant_with("cache_hit", || format!("{} vc {}", tasks[ti].method, vi));
@@ -529,7 +555,7 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
     for (key, ti, vi, result) in solved {
         let Some(result) = result else { continue };
         smt_queries += 1;
-        cache.insert(key, result.verdict);
+        cache.insert_core(key, result.verdict, result.core.clone());
         // The solving site keeps the real stats; duplicates across the batch
         // are answered as cache hits.
         for &(sti, svi) in &pending[&key] {
@@ -572,7 +598,8 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
                 continue;
             }
             let key = keys[ti][vi];
-            let result = if let Some(verdict) = cache.get(key) {
+            let known = if config.recheck { None } else { cache.get(key) };
+            let result = if let Some(verdict) = known {
                 cache_hits += 1;
                 VcResult::from_cache(vi, verdict)
             } else {
@@ -584,7 +611,7 @@ pub fn verify_tasks(tasks: Vec<MethodTask>, config: &DriverConfig) -> BatchRepor
                     None => task.check_vc(vi),
                 };
                 smt_queries += 1;
-                cache.insert(key, result.verdict);
+                cache.insert_core(key, result.verdict, result.core.clone());
                 result
             };
             let stop = result.verdict != ids_core::pipeline::VcVerdict::Valid;
@@ -865,6 +892,114 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn recheck_replays_cached_cores_as_slice_hints() {
+        let cache =
+            std::env::temp_dir().join(format!("ids-driver-recheck-{}.cache", std::process::id()));
+        std::fs::remove_file(&cache).ok();
+        let b = ids_structures::Benchmark {
+            name: "Singly-Linked List",
+            definition: lists::singly_linked_list(),
+            methods_src: lists::SINGLY_LINKED_LIST_METHODS,
+            methods: vec![],
+        };
+        let sel = vec![Selection::methods_of(&b, &["set_key", "find"])];
+        let config = DriverConfig {
+            jobs: 2,
+            cache_path: Some(cache.clone()),
+            ..DriverConfig::default()
+        };
+        let cold = verify_selections(&sel, &config);
+        assert!(cold.all_verified(), "{:?}", cold.errors);
+        assert_eq!(cold.stats.solver.slice_hits, 0, "no hints on a cold run");
+
+        // --recheck ignores cached verdicts (everything re-solves) but uses
+        // the cached cores as slice hints: at least one VC must discharge
+        // from a strict hypothesis subset, with zero verdict changes.
+        let recheck = DriverConfig {
+            recheck: true,
+            ..config.clone()
+        };
+        let sliced = verify_selections(&sel, &recheck);
+        assert!(sliced.all_verified());
+        assert!(sliced.stats.smt_queries > 0, "recheck must re-solve");
+        assert!(
+            sliced.stats.solver.slice_hits > 0,
+            "cached cores must slice: {:?}",
+            sliced.stats.solver
+        );
+        assert!(sliced.stats.solver.slice_dropped_hyps > 0);
+
+        // --no-slice-hyps re-solves from the full hypothesis set; outcomes
+        // are identical either way.
+        let unsliced_config = DriverConfig {
+            slice_hyps: false,
+            ..recheck.clone()
+        };
+        let unsliced = verify_selections(&sel, &unsliced_config);
+        assert_eq!(unsliced.stats.solver.slice_hits, 0);
+        assert_eq!(unsliced.stats.solver.slice_fallbacks, 0);
+        for (a, b) in sliced.reports.iter().zip(&unsliced.reports) {
+            assert_eq!(a.outcome, b.outcome, "{} diverged under slicing", a.method);
+            assert_eq!(a.num_vcs, b.num_vcs);
+        }
+        std::fs::remove_file(&cache).ok();
+    }
+
+    #[test]
+    fn poisoned_cores_fall_back_without_changing_verdicts() {
+        // Rewrite every cached core to the empty slice: no goal can be
+        // discharged from zero hypotheses alone, so every hinted check must
+        // fall back to the full set — fallback counter fires, verdicts and
+        // outcomes stay byte-identical.
+        let cache =
+            std::env::temp_dir().join(format!("ids-driver-poison-{}.cache", std::process::id()));
+        std::fs::remove_file(&cache).ok();
+        let b = ids_structures::Benchmark {
+            name: "Singly-Linked List",
+            definition: lists::singly_linked_list(),
+            methods_src: lists::SINGLY_LINKED_LIST_METHODS,
+            methods: vec![],
+        };
+        let sel = vec![Selection::methods_of(&b, &["set_key"])];
+        let config = DriverConfig {
+            jobs: 1,
+            cache_path: Some(cache.clone()),
+            ..DriverConfig::default()
+        };
+        let cold = verify_selections(&sel, &config);
+        assert!(cold.all_verified());
+
+        let text = std::fs::read_to_string(&cache).unwrap();
+        assert!(text.contains(" #"), "cold run should have recorded cores");
+        let poisoned: String = text
+            .lines()
+            .map(|l| match l.split_once(" #") {
+                Some((pre, _)) => format!("{pre} #\n"),
+                None => format!("{l}\n"),
+            })
+            .collect();
+        std::fs::write(&cache, poisoned).unwrap();
+
+        let recheck = DriverConfig {
+            recheck: true,
+            ..config.clone()
+        };
+        let warm = verify_selections(&sel, &recheck);
+        assert!(warm.all_verified(), "fallback must recover every verdict");
+        // VCs whose goal genuinely needs no hypothesis still hit on the
+        // empty slice; every other one must fall back.
+        assert!(
+            warm.stats.solver.slice_fallbacks > 0,
+            "empty slices must fall back on hypothesis-dependent VCs: {:?}",
+            warm.stats.solver
+        );
+        for (a, b) in cold.reports.iter().zip(&warm.reports) {
+            assert_eq!(a.outcome, b.outcome, "{} diverged", a.method);
+        }
+        std::fs::remove_file(&cache).ok();
     }
 
     #[test]

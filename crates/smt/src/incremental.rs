@@ -135,6 +135,7 @@ struct MethodRollback {
     pending_atoms: Vec<TermId>,
     atom_scope: HashMap<TermId, AtomScope>,
     asserted_roots: HashSet<TermId>,
+    tracked: Vec<(u32, Var)>,
     saw_quantifier: bool,
     /// Reuse counters not yet folded into a check's stats: restored on pop
     /// so credit accrued inside a method that never checks (e.g. every VC
@@ -170,6 +171,15 @@ pub struct IncrementalSolver {
     method: Option<MethodRollback>,
     /// Roots asserted so far, for the prelude-reuse counters.
     asserted_roots: HashSet<TermId>,
+    /// *Tracked* assertions ([`IncrementalSolver::assert_tracked`]), in
+    /// assertion order: caller-chosen tag and the activation variable guarding
+    /// the assertion's clauses. A check assumes a selection of these (all of
+    /// them by default), and an Unsat core maps back to tags through this
+    /// list.
+    tracked: Vec<(u32, Var)>,
+    /// Tags of the tracked assertions in the last check's unsat core (empty
+    /// unless the last check returned [`SatResult::Unsat`]).
+    last_core: Vec<u32>,
     /// Reuse counters accumulated since the last `check` (assertions happen
     /// between checks; `check` folds them into its stats delta).
     pending_reused: u64,
@@ -213,6 +223,8 @@ impl IncrementalSolver {
             model: None,
             method: None,
             asserted_roots: HashSet::new(),
+            tracked: Vec::new(),
+            last_core: Vec::new(),
             pending_reused: 0,
             pending_lowered: 0,
             pending_lower_time: std::time::Duration::ZERO,
@@ -286,6 +298,7 @@ impl IncrementalSolver {
             pending_atoms: self.pending_atoms.clone(),
             atom_scope: self.atom_scope.clone(),
             asserted_roots: self.asserted_roots.clone(),
+            tracked: self.tracked.clone(),
             saw_quantifier: self.saw_quantifier,
             pending_reused: self.pending_reused,
             pending_lowered: self.pending_lowered,
@@ -316,11 +329,13 @@ impl IncrementalSolver {
         self.pending_atoms = m.pending_atoms;
         self.atom_scope = m.atom_scope;
         self.asserted_roots = m.asserted_roots;
+        self.tracked = m.tracked;
         self.saw_quantifier = m.saw_quantifier;
         self.pending_reused = m.pending_reused;
         self.pending_lowered = m.pending_lowered;
         self.pending_lower_time = m.pending_lower_time;
         self.model = None;
+        self.last_core.clear();
     }
 
     /// True if a method scope is currently open.
@@ -374,6 +389,72 @@ impl IncrementalSolver {
         for &t in ts {
             self.assert(tm, t);
         }
+    }
+
+    /// Asserts a formula as a *tracked* assertion: its clauses are guarded by
+    /// a dedicated activation variable associated with `tag`, and a check
+    /// assumes a *selection* of the tracked assertions instead of taking them
+    /// as unconditional facts ([`IncrementalSolver::check_selected`]; the
+    /// plain [`IncrementalSolver::check`] selects all of them, which is
+    /// equivalent to having asserted the formula permanently). When a check
+    /// refutes, the tags of the tracked assertions its unsat core used are
+    /// reported by [`IncrementalSolver::last_core_tags`].
+    ///
+    /// Derived facts (axiom instantiations, Skolem definitions) stay
+    /// permanent — they are valid or definitional regardless of which tracked
+    /// assertions a check selects, so leaving them unguarded is sound.
+    ///
+    /// Tracked assertions live at the method/base level of the scope
+    /// discipline: a method-scope rollback retracts those made inside it.
+    ///
+    /// # Panics
+    /// Panics if a plain push scope is open (tracked assertions are
+    /// hypotheses of the session, not of one goal check).
+    pub fn assert_tracked(&mut self, tm: &mut TermManager, t: TermId, tag: u32) {
+        assert!(
+            self.scopes.is_empty(),
+            "tracked assertions must be made outside push/pop scopes"
+        );
+        if contains_forall(tm, t) {
+            self.saw_quantifier = true;
+            return;
+        }
+        if self.asserted_roots.insert(t) {
+            self.pending_lowered += 1;
+        } else {
+            self.pending_reused += 1;
+        }
+        let lower_start = std::time::Instant::now();
+        let batch = {
+            let _obs = ids_obs::span("lower");
+            self.lower.add(tm, &[t])
+        };
+        self.pending_lower_time += lower_start.elapsed();
+        let _obs = ids_obs::span("cnf");
+        for f in batch.facts {
+            self.assert_lowered(tm, f, true);
+        }
+        let act = self.sat.new_var();
+        self.tracked.push((tag, act));
+        for r in batch.roots {
+            let lit = encode_root(tm, r, &mut self.sat, &mut self.atom_map);
+            // Base-scope atoms: the assertion outlives every VC scope. An
+            // unselected tracked assertion leaves its atoms live but
+            // unconstrained — the theory then checks whatever values the SAT
+            // core picked for them, which costs nothing in soundness (its
+            // lemmas are valid) and a sliced check never reports Sat as
+            // final.
+            self.mark_atoms(tm, r, None);
+            self.sat.add_clause(vec![Lit::new(act, false), lit]);
+        }
+    }
+
+    /// Tags of the tracked assertions the last check's unsat core used
+    /// (sorted, deduplicated). Empty unless the last check returned
+    /// [`SatResult::Unsat`] — and possibly empty even then, when the
+    /// refutation needed no tracked assertion at all.
+    pub fn last_core_tags(&self) -> &[u32] {
+        &self.last_core
     }
 
     /// Encodes one lowered root and asserts it — permanently for derived
@@ -448,13 +529,33 @@ impl IncrementalSolver {
     }
 
     /// Checks satisfiability of the conjunction of all live assertions
-    /// (permanent ones plus those of open scopes).
+    /// (permanent ones, all tracked assertions, plus those of open scopes).
     pub fn check(&mut self, tm: &mut TermManager) -> SatResult {
+        self.check_selected(tm, None)
+    }
+
+    /// Like [`IncrementalSolver::check`], but under an explicit *selection*
+    /// of the tracked assertions: `None` selects all of them; `Some(tags)`
+    /// selects only those whose tag is listed and *deactivates* the rest —
+    /// their activation variables are assumed false, so unit propagation
+    /// satisfies every guard clause of a deselected hypothesis up front
+    /// instead of leaving its activation variable as a free decision.
+    ///
+    /// Deactivation is sound because activation variables occur only
+    /// negatively in the clause set (guards `¬act ∨ lit` and learned
+    /// consequences): flipping a deselected `act` to false maps any model to
+    /// a model, so Unsat under the selection implies Unsat with the
+    /// deselected hypotheses re-enabled — selecting a subset only ever
+    /// *weakens* the assertion set, and an Unsat answer under a subset
+    /// implies Unsat under the full set. A Sat/Unknown answer under a subset
+    /// implies nothing about the full set.
+    pub fn check_selected(&mut self, tm: &mut TermManager, selection: Option<&[u32]>) -> SatResult {
         self.stats = SolverStats::default();
         self.stats.prelude_reused = std::mem::take(&mut self.pending_reused);
         self.stats.prelude_lowered = std::mem::take(&mut self.pending_lowered);
         self.stats.lower_time = std::mem::take(&mut self.pending_lower_time);
         self.model = None;
+        self.last_core.clear();
         if self.saw_quantifier {
             return SatResult::Unknown;
         }
@@ -475,7 +576,22 @@ impl IncrementalSolver {
             self.sat.restarts,
             self.sat.learned_deleted,
         );
-        let assumptions: Vec<Lit> = self.scopes.iter().map(|s| Lit::new(s.act, true)).collect();
+        // Assumption order: tracked assertions first (selection-filtered),
+        // then the open scopes' activation literals.
+        let mut assumptions: Vec<Lit> = Vec::with_capacity(self.tracked.len() + self.scopes.len());
+        // Maps a *selected* activation variable back to its tracked tag, for
+        // unsat-core extraction. Deselected acts are assumed false — their
+        // guard clauses are satisfied outright, so they can never reach the
+        // final conflict and must never be mapped into a core.
+        let mut tag_of_act: HashMap<Var, u32> = HashMap::with_capacity(self.tracked.len());
+        for &(tag, act) in &self.tracked {
+            let selected = selection.is_none_or(|tags| tags.contains(&tag));
+            assumptions.push(Lit::new(act, selected));
+            if selected {
+                tag_of_act.insert(act, tag);
+            }
+        }
+        assumptions.extend(self.scopes.iter().map(|s| Lit::new(s.act, true)));
 
         // Split borrows: the loop reads the checker while mutating the SAT
         // core, the theory session and the stats.
@@ -483,6 +599,7 @@ impl IncrementalSolver {
         let sat = &mut self.sat;
         let stats = &mut self.stats;
         let session = &mut self.session;
+        let last_core = &mut self.last_core;
         let snapshot = |stats: &mut SolverStats, sat: &SatSolver| {
             stats.sat_conflicts = sat.conflicts - base.0;
             stats.sat_decisions = sat.decisions - base.1;
@@ -515,6 +632,14 @@ impl IncrementalSolver {
                         // the SAT core's final-conflict analysis.
                         stats.unsat_cores = 1;
                         stats.unsat_core_size = sat.unsat_core.len() as u64;
+                        let mut core: Vec<u32> = sat
+                            .unsat_core
+                            .iter()
+                            .filter_map(|l| tag_of_act.get(&l.var()).copied())
+                            .collect();
+                        core.sort_unstable();
+                        core.dedup();
+                        *last_core = core;
                     }
                     return sat_result;
                 }
@@ -922,6 +1047,71 @@ mod tests {
         s.pop_method_scope();
         // The quantified assertion fell with its method scope.
         assert_eq!(s.check(&mut tm), SatResult::Sat);
+    }
+
+    #[test]
+    fn tracked_assertions_select_and_report_cores() {
+        // Tracked hypotheses: x >= 0 (tag 0), x <= 5 (tag 1), y >= 0 (tag 2).
+        // Goal scope asserts x >= 10: refuting needs exactly tag 1.
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Int);
+        let y = tm.var("y", Sort::Int);
+        let zero = tm.int(0);
+        let five = tm.int(5);
+        let ten = tm.int(10);
+        let h0 = tm.ge(x, zero);
+        let h1 = tm.le(x, five);
+        let h2 = tm.ge(y, zero);
+        let goal_neg = tm.ge(x, ten);
+        let mut s = IncrementalSolver::new();
+        s.assert_tracked(&mut tm, h0, 0);
+        s.assert_tracked(&mut tm, h1, 1);
+        s.assert_tracked(&mut tm, h2, 2);
+        s.push();
+        s.assert(&mut tm, goal_neg);
+        // Full selection refutes; the core names only the used hypothesis.
+        assert_eq!(s.check(&mut tm), SatResult::Unsat);
+        assert_eq!(s.last_core_tags(), &[1]);
+        assert_eq!(s.stats().unsat_cores, 1);
+        assert!(s.stats().unsat_core_size >= 1);
+        // The cored subset alone still refutes.
+        assert_eq!(s.check_selected(&mut tm, Some(&[1])), SatResult::Unsat);
+        assert_eq!(s.last_core_tags(), &[1]);
+        // Deselecting the load-bearing hypothesis weakens the set into Sat,
+        // and the stale core is cleared.
+        assert_eq!(s.check_selected(&mut tm, Some(&[0, 2])), SatResult::Sat);
+        assert!(s.last_core_tags().is_empty());
+        s.pop();
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+    }
+
+    #[test]
+    fn tracked_assertions_roll_back_with_the_method_scope() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", Sort::Int);
+        let zero = tm.int(0);
+        let five = tm.int(5);
+        let ten = tm.int(10);
+        let ge0 = tm.ge(x, zero);
+        let le5 = tm.le(x, five);
+        let ge10 = tm.ge(x, ten);
+        let mut s = IncrementalSolver::new();
+        s.assert_tracked(&mut tm, ge0, 0); // structure scope
+        s.push_method_scope();
+        s.assert_tracked(&mut tm, le5, 1); // method residue
+        s.push();
+        s.assert(&mut tm, ge10);
+        assert_eq!(s.check(&mut tm), SatResult::Unsat);
+        assert_eq!(s.last_core_tags(), &[1]);
+        s.pop();
+        s.pop_method_scope();
+        // Tag 1 fell with the method scope: the same goal scope is now Sat,
+        // and a selection naming the dead tag selects nothing extra.
+        s.push();
+        s.assert(&mut tm, ge10);
+        assert_eq!(s.check(&mut tm), SatResult::Sat);
+        assert_eq!(s.check_selected(&mut tm, Some(&[1])), SatResult::Sat);
+        s.pop();
     }
 
     #[test]

@@ -188,6 +188,19 @@ pub struct SolverStats {
     /// or the input was unsatisfiable without any assumption). A gauge.
     /// Merge: **max**.
     pub unsat_core_size: u64,
+    /// Checks discharged from a *sliced* hypothesis selection (a cached unsat
+    /// core) without needing the full hypothesis set. Always 0 for the batch
+    /// solver. Merge: **sum**.
+    pub slice_hits: u64,
+    /// Sliced checks that were inconclusive and fell back to the full
+    /// hypothesis set (the sound fallback: dropping hypotheses only weakens
+    /// the antecedent, so only a Valid slice verdict is conclusive). Always 0
+    /// for the batch solver. Merge: **sum**.
+    pub slice_fallbacks: u64,
+    /// Hypotheses that a successful slice never asserted (summed over all
+    /// slice hits; the saving the cached cores bought). Always 0 for the
+    /// batch solver. Merge: **sum**.
+    pub slice_dropped_hyps: u64,
 }
 
 impl SolverStats {
@@ -215,6 +228,9 @@ impl SolverStats {
         self.pivots += other.pivots;
         self.unsat_cores += other.unsat_cores;
         self.unsat_core_size = self.unsat_core_size.max(other.unsat_core_size);
+        self.slice_hits += other.slice_hits;
+        self.slice_fallbacks += other.slice_fallbacks;
+        self.slice_dropped_hyps += other.slice_dropped_hyps;
     }
 }
 
@@ -613,6 +629,9 @@ mod tests {
             pivots: seed + 17,
             unsat_cores: seed + 18,
             unsat_core_size: seed + 19,
+            slice_hits: seed + 20,
+            slice_fallbacks: seed + 21,
+            slice_dropped_hyps: seed + 22,
         };
         let (a, b) = (mk(100), mk(5));
         let mut merged = a;
@@ -638,6 +657,9 @@ mod tests {
             pivots,
             unsat_cores,
             unsat_core_size,
+            slice_hits,
+            slice_fallbacks,
+            slice_dropped_hyps,
         } = merged;
         // Sums: effort counters and wall-clock times.
         assert_eq!(theory_rounds, a.theory_rounds + b.theory_rounds);
@@ -657,6 +679,12 @@ mod tests {
         assert_eq!(learned_deleted, a.learned_deleted + b.learned_deleted);
         assert_eq!(pivots, a.pivots + b.pivots);
         assert_eq!(unsat_cores, a.unsat_cores + b.unsat_cores);
+        assert_eq!(slice_hits, a.slice_hits + b.slice_hits);
+        assert_eq!(slice_fallbacks, a.slice_fallbacks + b.slice_fallbacks);
+        assert_eq!(
+            slice_dropped_hyps,
+            a.slice_dropped_hyps + b.slice_dropped_hyps
+        );
         // Gauges: merge must keep the maximum, in either merge order.
         assert_eq!(learned_kept, a.learned_kept.max(b.learned_kept));
         assert_eq!(max_lbd, a.max_lbd.max(b.max_lbd));
@@ -666,6 +694,30 @@ mod tests {
         assert_eq!(reversed.learned_kept, learned_kept);
         assert_eq!(reversed.max_lbd, max_lbd);
         assert_eq!(reversed.unsat_core_size, unsat_core_size);
+    }
+
+    /// A method with *multiple* UNSAT VCs merges its per-check core stats as
+    /// counter-plus-gauge: `unsat_cores` counts how many checks closed with a
+    /// core (sum), `unsat_core_size` reports the largest core any of them
+    /// used (max) — not the last one and not the total.
+    #[test]
+    fn multi_unsat_vc_core_merge_is_sum_plus_max() {
+        let vc = |core_size: u64| SolverStats {
+            unsat_cores: 1,
+            unsat_core_size: core_size,
+            ..SolverStats::default()
+        };
+        let mut method = SolverStats::default();
+        for &size in &[3, 11, 7] {
+            method.merge(&vc(size));
+        }
+        assert_eq!(method.unsat_cores, 3, "one core per UNSAT VC, summed");
+        assert_eq!(method.unsat_core_size, 11, "gauge keeps the largest core");
+        // A VC refuted without any core (unsatisfiable from the clause set
+        // alone, no assumption used) contributes nothing to either field.
+        method.merge(&SolverStats::default());
+        assert_eq!(method.unsat_cores, 3);
+        assert_eq!(method.unsat_core_size, 11);
     }
 
     #[test]

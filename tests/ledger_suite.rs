@@ -50,7 +50,8 @@ fn sample_vc(key: u128, solve_ms: f64, euf_s: f64) -> VcLedgerEntry {
         queue_ms: 0.25,
         solve_ms,
         phases: [0.001, 0.0625, euf_s, 0.03125, 0.015625],
-        solver: [9, 8, 7, 6, 5, 40, 3, 2, 1, 11],
+        solver: [9, 8, 7, 6, 5, 40, 3, 2, 1, 11, 2, 1, 6],
+        core: None,
         hists,
     }
 }
@@ -67,7 +68,11 @@ fn sample_record(timestamp: u64, solve_ms: f64, euf_s: f64) -> RunRecord {
 
 #[test]
 fn schema_round_trips_exactly() {
-    let record = sample_record(1_700_000_000, 250.5, 0.125);
+    let mut record = sample_record(1_700_000_000, 250.5, 0.125);
+    // One VC with a recorded unsat core (empty cores are legal too) so the
+    // optional field round-trips alongside core-less entries.
+    record.vcs[1].core = Some(vec![0, 4, 7]);
+    record.vcs[2].core = Some(vec![]);
     let line = record.to_json_line();
     assert!(!line.contains('\n'), "a record must be a single JSONL line");
     let parsed = RunRecord::parse(&line).expect("parse own output");
@@ -84,35 +89,53 @@ fn schema_round_trips_exactly() {
     assert_eq!(h.count(), 4);
     assert_eq!(h.max(), 70_000);
     assert!(vc.hists.get(Metric::ConflictGapUs).is_empty());
+    assert_eq!(vc.core, None);
+    assert_eq!(parsed.vcs[1].core.as_deref(), Some(&[0, 4, 7][..]));
+    assert_eq!(parsed.vcs[2].core.as_deref(), Some(&[][..]));
 }
 
-/// Schema-1 lines (pre unsat-core counters) must keep parsing so the CI
-/// baseline and local history ledgers written before the v2 bump stay
-/// comparable; the counters they lack read back as zero.
+/// Schema-1 lines (pre unsat-core counters) and schema-2 lines (pre slice
+/// counters and per-VC cores) must keep parsing so the CI baseline and local
+/// history ledgers written before the v3 bump stay comparable; the fields
+/// they lack read back as zero / `None`.
 #[test]
-fn schema_v1_lines_still_parse_with_zeroed_new_counters() {
+fn older_schema_lines_still_parse_with_zeroed_new_fields() {
     let record = sample_record(7, 50.0, 0.01);
-    let mut line = record.to_json_line();
-    // Rewrite the line into its v1 form: old schema tag, no new counters.
-    line = line.replacen(&format!("\"schema\":{}", LEDGER_SCHEMA), "\"schema\":1", 1);
-    line = line.replace(",\"unsat_cores\":1,\"unsat_core_size\":11", "");
-    assert!(!line.contains("unsat_core"), "v1 line built incorrectly");
-    let parsed = RunRecord::parse(&line).expect("v1 line parses");
-    assert_eq!(parsed.schema, 1);
-    let cores_idx = SOLVER_COUNTERS
-        .iter()
-        .position(|&c| c == "unsat_cores")
-        .unwrap();
-    let size_idx = SOLVER_COUNTERS
-        .iter()
-        .position(|&c| c == "unsat_core_size")
-        .unwrap();
+    let idx = |name: &str| SOLVER_COUNTERS.iter().position(|&c| c == name).unwrap();
+    const SLICE_TOKENS: &str = ",\"slice_hits\":2,\"slice_fallbacks\":1,\"slice_dropped_hyps\":6";
+
+    // Rewrite the line into its v2 form: old schema tag, no slice counters.
+    let mut v2 = record.to_json_line();
+    v2 = v2.replacen(&format!("\"schema\":{}", LEDGER_SCHEMA), "\"schema\":2", 1);
+    v2 = v2.replace(SLICE_TOKENS, "");
+    assert!(!v2.contains("slice_"), "v2 line built incorrectly");
+    let parsed = RunRecord::parse(&v2).expect("v2 line parses");
+    assert_eq!(parsed.schema, 2);
     for vc in &parsed.vcs {
-        assert_eq!(vc.solver[cores_idx], 0);
-        assert_eq!(vc.solver[size_idx], 0);
+        assert_eq!(vc.solver[idx("slice_hits")], 0);
+        assert_eq!(vc.solver[idx("slice_fallbacks")], 0);
+        assert_eq!(vc.solver[idx("slice_dropped_hyps")], 0);
+        assert_eq!(vc.core, None);
         // The shared prefix of the counter array is intact.
+        assert_eq!(&vc.solver[..10], &record.vcs[0].solver[..10]);
+    }
+
+    // The v1 form additionally lacks the unsat-core counters.
+    let mut v1 = record.to_json_line();
+    v1 = v1.replacen(&format!("\"schema\":{}", LEDGER_SCHEMA), "\"schema\":1", 1);
+    v1 = v1.replace(SLICE_TOKENS, "");
+    v1 = v1.replace(",\"unsat_cores\":1,\"unsat_core_size\":11", "");
+    assert!(!v1.contains("core"), "v1 line built incorrectly");
+    let parsed = RunRecord::parse(&v1).expect("v1 line parses");
+    assert_eq!(parsed.schema, 1);
+    for vc in &parsed.vcs {
+        assert_eq!(vc.solver[idx("unsat_cores")], 0);
+        assert_eq!(vc.solver[idx("unsat_core_size")], 0);
+        assert_eq!(vc.solver[idx("slice_hits")], 0);
+        assert_eq!(vc.core, None);
         assert_eq!(&vc.solver[..8], &record.vcs[0].solver[..8]);
     }
+
     // A future schema is still foreign and must be rejected.
     let future = record.to_json_line().replacen(
         &format!("\"schema\":{}", LEDGER_SCHEMA),
@@ -278,6 +301,45 @@ fn compare_noise_gate_and_verdict_changes() {
     assert!(report.deltas.is_empty());
     assert_eq!(report.only_base.len(), 3);
     assert_eq!(report.only_new.len(), 3);
+}
+
+/// Regression test: a baseline row with `solve_ms == 0` (a fully cached run,
+/// or a ledger predating per-VC timing) makes the percentage gate vacuous —
+/// every nonzero warm time is infinitely many percent over zero. Such rows
+/// must be excluded from timing classification (no regression, no
+/// improvement, no phase attribution) while still joining for verdicts.
+#[test]
+fn compare_skips_timing_on_zero_ms_baseline_rows() {
+    let mut base = sample_record(1, 0.0, 0.0);
+    for vc in &mut base.vcs {
+        vc.phases = [0.0; 5];
+    }
+    let new = sample_record(2, 500.0, 0.4);
+    let opts = CompareOpts::default();
+    let report = compare(&base, &new, &opts);
+    assert_eq!(report.deltas.len(), 3, "zero-ms rows still join");
+    assert_eq!(report.regressions, 0, "no percent gate against a 0 ms base");
+    assert_eq!(report.improvements, 0);
+    for d in &report.deltas {
+        assert!(!d.regressed && !d.improved);
+        assert_eq!(
+            d.attributed_phase, None,
+            "an all-zero baseline row must not be attributed to a phase"
+        );
+        assert!(d.attribution.is_empty(), "attribution: {}", d.attribution);
+    }
+    assert!(!report.failed(&opts));
+    // The mirror image — new run instant, baseline timed — is classified
+    // normally: the percent gate divides by the *baseline*, which is sound.
+    let reverse = compare(&new, &base, &opts);
+    assert_eq!(reverse.regressions, 0);
+    assert_eq!(reverse.improvements, 3);
+    // Verdict changes on zero-ms rows still fail the gate.
+    let mut flipped = sample_record(3, 500.0, 0.4);
+    flipped.vcs[0].verdict = "refuted".to_string();
+    let report = compare(&base, &flipped, &opts);
+    assert_eq!(report.verdict_mismatches, 1);
+    assert!(report.failed(&opts));
 }
 
 #[test]

@@ -191,6 +191,128 @@ proptest! {
     }
 }
 
+// Slice parity: re-verification with `--slice-hyps` (cached unsat cores
+// replayed as hypothesis-slice hints) must be observationally identical to
+// `--no-slice-hyps` — same outcomes, per-VC verdicts, keys and counts — in
+// every pool mode and under both profiles. Slicing is a performance hint
+// with a sound fallback, never a semantics change.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn slice_on_and_off_produce_identical_reports(
+        mask in 1usize..16,
+        profile_idx in 0usize..2,
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CASE: AtomicU64 = AtomicU64::new(0);
+
+        let profile = if profile_idx == 0 {
+            SolverProfile::Default
+        } else {
+            SolverProfile::Legacy
+        };
+        let methods: Vec<String> = METHOD_NAMES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, m)| m.to_string())
+            .collect();
+        let ids = list_ids();
+        let selection = Selection {
+            name: "acyclic-list",
+            definition: &ids,
+            methods_src: METHODS_SRC,
+            methods: methods.clone(),
+        };
+        let cache = std::env::temp_dir().join(format!(
+            "ids-slice-parity-{}-{}.cache",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&cache);
+
+        for mode in [PoolMode::Structure, PoolMode::Method, PoolMode::None] {
+            let _ = std::fs::remove_file(&cache);
+            let run = |recheck: bool, slice_hyps: bool| {
+                verify_selections(
+                    std::slice::from_ref(&selection),
+                    &DriverConfig {
+                        jobs: 1,
+                        pool_mode: mode,
+                        cache_path: Some(cache.clone()),
+                        solver_profile: profile,
+                        recheck,
+                        slice_hyps,
+                        ..DriverConfig::default()
+                    },
+                )
+            };
+            // Cold run populates the cache with verdicts and unsat cores.
+            let cold = run(false, true);
+            prop_assert!(cold.errors.is_empty(), "{:?}: {:?}", mode, cold.errors);
+            // Warm re-verification, with and without core-driven slicing.
+            let sliced = run(true, true);
+            let full = run(true, false);
+            for (label, batch) in [("sliced", &sliced), ("full", &full)] {
+                prop_assert!(batch.errors.is_empty(), "{:?}/{}", mode, label);
+                prop_assert!(
+                    batch.stats.smt_queries > 0,
+                    "{:?}/{}: recheck must re-solve, not answer from cache",
+                    mode,
+                    label
+                );
+            }
+            prop_assert_eq!(
+                full.stats.solver.slice_hits + full.stats.solver.slice_fallbacks,
+                0,
+                "{:?}: --no-slice-hyps must never consult hints",
+                mode
+            );
+            if mode == PoolMode::None {
+                // The fresh-solver path checks one monolithic formula per VC;
+                // there is nothing to slice.
+                prop_assert_eq!(
+                    sliced.stats.solver.slice_hits + sliced.stats.solver.slice_fallbacks,
+                    0,
+                    "fresh path must not slice"
+                );
+            } else if methods.iter().any(|m| !REFUTED.contains(&m.as_str())) {
+                // At least one verified method means cached cores exist, so
+                // the sliced recheck must actually consume hints.
+                prop_assert!(
+                    sliced.stats.solver.slice_hits + sliced.stats.solver.slice_fallbacks > 0,
+                    "{:?}: no hint was ever consumed (methods {:?})",
+                    mode,
+                    &methods
+                );
+            }
+            for (pair, other) in [("cold", &cold), ("full", &full)] {
+                prop_assert_eq!(sliced.reports.len(), other.reports.len());
+                for (a, b) in sliced.reports.iter().zip(&other.reports) {
+                    prop_assert_eq!(&a.method, &b.method);
+                    prop_assert_eq!(
+                        &a.outcome,
+                        &b.outcome,
+                        "{:?}: {} diverged between sliced and {} (methods {:?})",
+                        mode,
+                        &a.method,
+                        pair,
+                        &methods
+                    );
+                    prop_assert_eq!(a.num_vcs, b.num_vcs);
+                    prop_assert_eq!(a.vc_reports.len(), b.vc_reports.len());
+                    for (va, vb) in a.vc_reports.iter().zip(&b.vc_reports) {
+                        prop_assert_eq!(va.vc_key, vb.vc_key);
+                        prop_assert_eq!(&va.verdict, &vb.verdict);
+                        prop_assert_eq!(&va.description, &vb.description);
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&cache);
+    }
+}
+
 /// Cross-profile parity: `--solver-profile default` and `legacy` must
 /// produce byte-identical reports (outcome kind, failing-VC description,
 /// VC/cache/query counts) in every pool mode, and byte-identical VC cache
